@@ -1,0 +1,106 @@
+"""Extension benchmarks: online churn, fault recovery, heterogeneity.
+
+Beyond the paper's figures, these exercise the extensions DESIGN.md §5
+and Section VII motivate: steady-state churn (LLAs live "hours to
+months" and depart), machine-failure recovery (the reliability story
+behind within-app anti-affinity), and heterogeneous machine shapes (the
+paper's stated future work).
+"""
+
+from repro import (
+    AladdinScheduler,
+    ClusterState,
+    GoKubeScheduler,
+    MachineSpec,
+    build_heterogeneous_cluster,
+)
+from repro.report import format_series
+from repro.sim.faults import fail_machines, random_failures, recover
+from repro.sim.online import OnlineConfig, OnlineSimulator
+from repro.trace.arrival import order_containers, ArrivalOrder
+
+from benchmarks.conftest import once
+
+
+def test_ext_online_churn(benchmark, trace, capsys):
+    """Steady-state arrivals and departures; Aladdin must stay clean
+    throughout the full lifecycle."""
+
+    def run():
+        sim = OnlineSimulator(trace, OnlineConfig(ticks=40))
+        return sim.run(AladdinScheduler())
+
+    result = once(benchmark, run)
+    step = max(1, len(result.samples) // 12)
+    with capsys.disabled():
+        print("\n" + format_series(
+            "ext[online]: running containers over time",
+            result.series("running_containers")[::step],
+        ))
+        print(f"ext[online]: failure rate {result.failure_rate:.2%}, "
+              f"peak machines {result.peak_used_machines}, "
+              f"migrations {result.total_migrations}")
+    assert result.total_arrived == trace.n_containers
+    assert result.failure_rate <= 0.02
+    assert all(s.violations == 0 for s in result.samples)
+
+
+def test_ext_fault_recovery(benchmark, trace, capsys):
+    """Kill 5 % of used machines after a full replay; recovery re-places
+    the displaced containers without violations."""
+    import numpy as np
+    from repro.sim import Simulator
+
+    def run():
+        sim = Simulator(trace, machine_pool_factor=1.3)
+        replay = sim.run(AladdinScheduler())
+        state = replay.state
+        victims = random_failures(
+            state, max(1, state.used_machines() // 20),
+            rng=np.random.default_rng(1),
+        )
+        report = fail_machines(state, victims)
+        recover(report, state, AladdinScheduler())
+        return report, state
+
+    report, state = once(benchmark, run)
+    with capsys.disabled():
+        print(f"\next[faults]: {len(report.failed_machines)} machines down, "
+              f"{report.n_displaced} containers displaced, "
+              f"{report.recovered} recovered, {report.lost} lost "
+              f"({report.recovery_migrations} migrations, "
+              f"{report.recovery_s * 1e3:.0f} ms)")
+    assert report.recovered >= 0.9 * report.n_displaced
+    assert state.anti_affinity_violations() == 0
+
+
+def test_ext_heterogeneous_cluster(benchmark, trace, capsys):
+    """The Section VII extension: the same trace on a mixed cluster of
+    standard and double-size machines."""
+    total_cpu = sum(a.cpu * a.n_containers for a in trace.applications)
+    n_small = round(total_cpu / 32 * 0.6 / 0.9)
+    n_big = round(total_cpu / 64 * 0.4 / 0.9)
+
+    def run():
+        topo = build_heterogeneous_cluster([
+            (n_small, MachineSpec(cpu=32, mem_gb=64)),
+            (n_big, MachineSpec(cpu=64, mem_gb=128)),
+        ])
+        out = {}
+        for sched in (AladdinScheduler(), GoKubeScheduler()):
+            state = ClusterState(topo, trace.constraints)
+            containers = order_containers(trace, ArrivalOrder.TRACE)
+            result = sched.schedule(containers, state)
+            out[sched.name] = (result, state)
+        return out
+
+    results = once(benchmark, run)
+    with capsys.disabled():
+        for name, (result, state) in results.items():
+            print(f"\next[hetero] {name}: undeployed {result.n_undeployed}, "
+                  f"violations {state.anti_affinity_violations()}, "
+                  f"used {state.used_machines()}/{state.n_machines}")
+    aladdin = results["Aladdin(16)+IL+DL"][0]
+    kube = results["Go-Kube"][0]
+    assert aladdin.n_undeployed <= kube.n_undeployed
+    assert results["Aladdin(16)+IL+DL"][1].anti_affinity_violations() == 0

@@ -1,0 +1,80 @@
+"""Fig. 11 — per-machine resource-utilization ranges.
+
+For each scheduler × arrival order, the range (min..max) and average of
+CPU utilization across used machines.  The paper's reading: Aladdin's
+(and Quincy's) flow-based placements keep the utilization band tight and
+high; Go-Kube's spreading leaves a wide band with a low average.
+"""
+
+import pytest
+
+from repro import (
+    AladdinScheduler,
+    ArrivalOrder,
+    FirmamentPolicy,
+    FirmamentScheduler,
+    GoKubeScheduler,
+    MedeaScheduler,
+    MedeaWeights,
+)
+from repro.report import format_table
+
+from benchmarks.conftest import once
+
+ORDERS = [ArrivalOrder.CHP, ArrivalOrder.CLP, ArrivalOrder.CLA, ArrivalOrder.CSA]
+
+
+def comparators():
+    return [
+        GoKubeScheduler(),
+        FirmamentScheduler(FirmamentPolicy.QUINCY, reschd=8),
+        MedeaScheduler(MedeaWeights(1, 1, 0)),
+        AladdinScheduler(),
+    ]
+
+
+@pytest.mark.parametrize("order", ORDERS, ids=lambda o: o.value)
+def test_fig11_utilization_ranges(benchmark, order, open_sim, capsys):
+    def run_order():
+        return [open_sim.run(s, order).metrics for s in comparators()]
+
+    metrics = once(benchmark, run_order)
+    rows = [
+        [
+            m.scheduler,
+            f"{m.utilization_min:.0%}",
+            f"{m.utilization_max:.0%}",
+            f"{m.utilization_mean:.0%}",
+        ]
+        for m in metrics
+    ]
+    with capsys.disabled():
+        print("\n" + format_table(
+            ["scheduler", "min util", "max util", "avg util"],
+            rows,
+            title=f"Fig. 11 [{order.value}]",
+        ))
+    by_name = {m.scheduler: m for m in metrics}
+    aladdin = next(m for n, m in by_name.items() if n.startswith("Aladdin"))
+    kube = by_name["Go-Kube"]
+    # Aladdin's average utilization beats the spreading scheduler's.
+    assert aladdin.utilization_mean > kube.utilization_mean
+    # Aladdin keeps most machines near-full: max utilization is ~100 %.
+    assert aladdin.utilization_max >= 0.95
+
+
+def test_fig11_aladdin_band_is_tight(open_sim, benchmark, capsys):
+    """Aladdin's mean utilization is high and stable across orders."""
+
+    def means():
+        return [
+            open_sim.run(AladdinScheduler(), order).metrics.utilization_mean
+            for order in ORDERS
+        ]
+
+    values = once(benchmark, means)
+    with capsys.disabled():
+        print("\nFig. 11: Aladdin avg utilization per order:",
+              [f"{v:.0%}" for v in values])
+    assert min(values) >= 0.5
+    assert max(values) - min(values) <= 0.15

@@ -1,0 +1,81 @@
+"""Fig. 13 — algorithm overhead and migration cost vs cluster size.
+
+(a) total scheduling time of Aladdin+IL+DL as the cluster grows, under
+    the four arrival characteristics (paper: linear growth; CLA ~30 %
+    cheaper than the worst case CSA);
+(b) migration + preemption counts (paper: CSA worst at ~1,700 of 100k
+    containers = 1.7 %; the other orders below it).
+"""
+
+import pytest
+
+from repro import AladdinScheduler, ArrivalOrder, Simulator
+from repro.report import format_series
+
+from benchmarks.conftest import once
+
+ORDERS = [ArrivalOrder.CHP, ArrivalOrder.CLP, ArrivalOrder.CLA, ArrivalOrder.CSA]
+
+_overhead: dict[str, list[tuple[int, float]]] = {}
+_migrations: dict[str, int] = {}
+
+
+def cluster_sizes(trace):
+    n = trace.config.n_machines
+    return [n, 2 * n, 4 * n]
+
+
+@pytest.mark.parametrize("order", ORDERS, ids=lambda o: o.value)
+def test_fig13a_overhead_scaling(benchmark, order, trace, capsys):
+    def sweep():
+        series = []
+        for n in cluster_sizes(trace):
+            result = Simulator(trace, n_machines=n).run(AladdinScheduler(), order)
+            series.append((n, result.metrics.latency_total_s))
+        return series
+
+    series = once(benchmark, sweep)
+    _overhead[order.value] = series
+    with capsys.disabled():
+        print("\n" + format_series(
+            f"Fig. 13(a) [{order.value}]: total overhead", series, unit=" s"
+        ))
+    # Super-linear blowups would break the paper's linear-growth claim:
+    # 4x machines must cost well under 16x time.
+    t_1x, t_4x = series[0][1], series[-1][1]
+    assert t_4x <= 16 * max(t_1x, 1e-3)
+
+
+def test_fig13b_migration_cost(trace, pressured_sim, benchmark, capsys):
+    """Migrations stay a small fraction of the workload (paper: <= 1.7 %
+    of 100k containers, worst under CSA).
+
+    Rescheduling only triggers under packing pressure, so this runs at
+    the Fig. 9 cluster sizing (~92 % demand) rather than the Fig. 13(a)
+    scaling sweep, where larger clusters make migrations vanish.
+    """
+
+    def collect():
+        for order in ORDERS:
+            result = pressured_sim.run(AladdinScheduler(), order)
+            assert result.metrics.violation_pct <= 0.5
+            _migrations[order.value] = (
+                result.metrics.migrations + result.metrics.preemptions
+            )
+        return dict(_migrations)
+
+    counts = once(benchmark, collect)
+    with capsys.disabled():
+        print("\n" + format_series(
+            "Fig. 13(b): migrations + preemptions per order",
+            sorted(counts.items()),
+        ))
+    # The paper's magnitude claim: rescheduling touches only a small
+    # fraction of the workload (1.7 % at full scale).  Which order pays
+    # the most depends on the interference structure of the trace: in
+    # the paper's CSA is worst; in the synthetic trace the constrained
+    # mass segregates cleanly when placed either first or last, and the
+    # migrations shift to orders that pack unconstrained giants late
+    # (documented as a deviation in EXPERIMENTS.md).
+    for order, count in counts.items():
+        assert count <= 0.05 * trace.n_containers, order

@@ -1,0 +1,56 @@
+"""Fig. 8 — workload features of the (synthetic) Alibaba trace.
+
+(a) CDF of container counts per application;
+(b) the number of applications with anti-affinity / priority constraints.
+
+Paper references (full scale): 13,056 applications, ~100,000 containers,
+9,400 with anti-affinity, 2,088 with priority, 64 % single-instance,
+a tail above 2,000 containers, max demand 16 CPU / 32 GB, several LLAs
+conflicting with >= 5,000 containers.
+"""
+
+from repro.report import format_series, paper_vs_measured
+from repro.trace import workload_stats
+from repro.trace.arrival import anti_affinity_degree
+from repro.trace.stats import container_count_cdf
+
+from benchmarks.conftest import SCALE, once
+
+
+def test_fig8a_container_cdf(benchmark, trace, capsys):
+    cdf = once(benchmark, lambda: container_count_cdf(trace))
+    with capsys.disabled():
+        print("\n" + format_series(
+            "Fig. 8(a): CDF of containers per application",
+            [(f"<= {p}", frac) for p, frac in cdf],
+        ))
+    fractions = [f for _, f in cdf]
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == 1.0
+    # 64 % single-instance at full scale; sampling noise at small scale.
+    assert 0.55 <= fractions[0] <= 0.70
+
+
+def test_fig8b_constraint_counts(benchmark, trace, capsys):
+    stats = once(benchmark, lambda: workload_stats(trace))
+    heavy = sum(
+        1
+        for a in trace.applications
+        if anti_affinity_degree(a, trace) >= trace.config.big_conflict_coverage
+    )
+    rows = [
+        ("total applications", round(13056 * SCALE), stats.n_apps),
+        ("total containers", round(100_000 * SCALE), stats.n_containers),
+        ("apps with anti-affinity", round(9400 * SCALE), stats.n_anti_affinity_apps),
+        ("apps with priority", round(2088 * SCALE), stats.n_priority_apps),
+        ("single-instance fraction", 0.64, stats.frac_single_instance),
+        ("max containers per app", f">= {round(2000 * SCALE)}", stats.max_containers_per_app),
+        ("max CPU / mem demand", "16 / 32", f"{stats.max_cpu_demand:g} / {stats.max_mem_demand_gb:g}"),
+        ("apps conflicting with >= 5k-scaled ctrs", ">= 3", heavy),
+    ]
+    with capsys.disabled():
+        print("\n" + paper_vs_measured(rows, title="Fig. 8(b): workload features"))
+    assert stats.n_apps == round(13056 * SCALE)
+    assert abs(stats.n_anti_affinity_apps - 9400 * SCALE) <= 0.01 * stats.n_apps + 2
+    assert abs(stats.n_priority_apps - 2088 * SCALE) <= 0.01 * stats.n_apps + 2
+    assert heavy >= 3

@@ -1,0 +1,121 @@
+"""Fig. 9 — placement quality (constraint violations %).
+
+Four panels sweep the baselines' tuning knobs against a fixed cluster:
+Firmament's ``reschd(i)`` for i in {1,2,4,8}, Medea's ``weights(a,b,c)``
+over the paper's four settings, Aladdin's weight base over
+{16,32,64,128}.  Go-Kube has no knob and repeats in every panel.
+
+Paper references (violations %):
+  Go-Kube 21.2 (flat) | Firmament-TRIVIAL 34.7 -> 4.3 |
+  Firmament-QUINCY 25.1 -> 3.5 | Firmament-OCTOPUS <= 10.7 |
+  Medea 12.9 (c=1) -> 5.2 (c=0) | Aladdin 0 for every base.
+Fig. 9(e): the anti-affinity share of all violations is >= 65 %.
+
+Expected reproduction shape: identical orderings and monotonicity;
+absolute magnitudes are tempered at small scale (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro import (
+    AladdinConfig,
+    AladdinScheduler,
+    FirmamentPolicy,
+    FirmamentScheduler,
+    GoKubeScheduler,
+    MedeaScheduler,
+    MedeaWeights,
+)
+from repro.report import metrics_table
+
+from benchmarks.conftest import once
+
+PANELS = {
+    "a": dict(firmament=1, medea=(1, 1, 1), aladdin=16),
+    "b": dict(firmament=2, medea=(1, 1, 0.5), aladdin=32),
+    "c": dict(firmament=4, medea=(1, 1, 0), aladdin=64),
+    "d": dict(firmament=8, medea=(1, 0.5, 0.5), aladdin=128),
+}
+
+_collected = {}
+
+
+@pytest.mark.parametrize("panel", list(PANELS))
+def test_fig9_panel(benchmark, panel, pressured_sim, capsys):
+    knobs = PANELS[panel]
+    schedulers = [
+        GoKubeScheduler(),
+        FirmamentScheduler(FirmamentPolicy.TRIVIAL, reschd=knobs["firmament"]),
+        FirmamentScheduler(FirmamentPolicy.QUINCY, reschd=knobs["firmament"]),
+        FirmamentScheduler(FirmamentPolicy.OCTOPUS, reschd=knobs["firmament"]),
+        MedeaScheduler(MedeaWeights(*knobs["medea"])),
+        AladdinScheduler(AladdinConfig(priority_weight_base=knobs["aladdin"])),
+    ]
+
+    def run_panel():
+        return [pressured_sim.run(s).metrics for s in schedulers]
+
+    metrics = once(benchmark, run_panel)
+    _collected[panel] = metrics
+    with capsys.disabled():
+        print("\n" + metrics_table(metrics, title=f"Fig. 9({panel})"))
+
+    by_name = {m.scheduler: m for m in metrics}
+    aladdin = next(m for n, m in by_name.items() if n.startswith("Aladdin"))
+    # Aladdin deploys everything without violations, for every base.
+    assert aladdin.violation_pct <= 0.5
+    # Aladdin strictly dominates every baseline in the panel.
+    for name, m in by_name.items():
+        if not name.startswith("Aladdin"):
+            assert aladdin.violation_pct <= m.violation_pct + 1e-9, name
+
+
+def test_fig9_firmament_improves_with_reschd(pressured_sim, benchmark):
+    """TRIVIAL/QUINCY violations fall as reschd(i) grows 1 -> 8."""
+
+    def sweep():
+        out = {}
+        for policy in (FirmamentPolicy.TRIVIAL, FirmamentPolicy.QUINCY):
+            out[policy] = [
+                pressured_sim.run(
+                    FirmamentScheduler(policy, reschd=i)
+                ).metrics.violation_pct
+                for i in (1, 8)
+            ]
+        return out
+
+    curves = once(benchmark, sweep)
+    for policy, (at_1, at_8) in curves.items():
+        assert at_8 < at_1, f"{policy}: {at_1} -> {at_8}"
+
+
+def test_fig9e_anti_affinity_share(pressured_sim, benchmark, capsys):
+    """Fig. 9(e): anti-affinity dominates the violation mix (>= 65 %)."""
+    schedulers = [
+        FirmamentScheduler(FirmamentPolicy.TRIVIAL, reschd=1),
+        FirmamentScheduler(FirmamentPolicy.QUINCY, reschd=1),
+        MedeaScheduler(MedeaWeights(1, 1, 1)),
+        MedeaScheduler(MedeaWeights(1, 1, 0)),
+    ]
+
+    def run_all():
+        return [pressured_sim.run(s).metrics for s in schedulers]
+
+    metrics = once(benchmark, run_all)
+    with capsys.disabled():
+        for m in metrics:
+            share = (
+                f"{m.anti_affinity_share_pct:.0f}%"
+                if m.violation_pct > 0
+                else "n/a (no violations)"
+            )
+            print(
+                f"\nFig. 9(e) {m.scheduler:24s} anti-affinity share = "
+                f"{share} (paper: >= 65%)"
+            )
+    checked = 0
+    for m in metrics:
+        if m.violation_pct > 0:  # a share needs a nonempty violation set
+            assert m.anti_affinity_share_pct >= 65.0, m.scheduler
+            checked += 1
+    assert checked >= 2

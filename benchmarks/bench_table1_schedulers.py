@@ -1,0 +1,42 @@
+"""Table I — the state-of-the-art schedulers used in the experiments.
+
+Regenerates the table from the scheduler registry and times one
+trace replay per comparator as a smoke-level cost baseline.
+"""
+
+import pytest
+
+from repro.baselines import SCHEDULERS
+from repro.report import format_table
+
+from benchmarks.conftest import once
+
+
+def test_table1_registry_rows(benchmark, capsys):
+    """The registry reproduces Table I's name/description rows."""
+
+    def build():
+        return format_table(
+            ["Name", "Description"],
+            [[name, desc] for name, (_, desc) in SCHEDULERS.items()],
+            title="Table I: the state-of-the-art schedulers",
+        )
+
+    table = once(benchmark, build)
+    with capsys.disabled():
+        print("\n" + table)
+    assert "Firmament-QUINCY" in table
+    assert "Medea" in table and "Go-Kube" in table
+    assert len(SCHEDULERS) == 5
+
+
+@pytest.mark.parametrize("name", list(SCHEDULERS))
+def test_table1_scheduler_replay(benchmark, name, pressured_sim):
+    """One full trace replay per Table-I scheduler (cost baseline)."""
+    factory, _ = SCHEDULERS[name]
+
+    result = once(benchmark, lambda: pressured_sim.run(factory()))
+    benchmark.extra_info["violation_pct"] = round(
+        result.metrics.violation_pct, 2
+    )
+    assert result.metrics.n_total == pressured_sim.trace.n_containers

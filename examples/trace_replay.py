@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Full trace replay across all schedulers and arrival orders.
+
+The closest single-command equivalent of the paper's evaluation:
+generates the calibrated synthetic trace, replays it through every
+Table-I comparator plus Aladdin under a chosen arrival order, and
+prints the evaluation metrics plus Equation-10 relative efficiency.
+
+Run::
+
+    python examples/trace_replay.py [scale] [order]
+
+e.g. ``python examples/trace_replay.py 0.05 csa``.
+"""
+
+import sys
+
+from repro import (
+    AladdinScheduler,
+    ArrivalOrder,
+    FirmamentPolicy,
+    FirmamentScheduler,
+    GoKubeScheduler,
+    MedeaScheduler,
+    MedeaWeights,
+    Simulator,
+    generate_trace,
+    relative_efficiency,
+)
+from repro.report import metrics_table
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.03
+    order = ArrivalOrder(sys.argv[2]) if len(sys.argv) > 2 else ArrivalOrder.TRACE
+
+    trace = generate_trace(scale=scale, seed=0)
+    total_cpu = sum(a.cpu * a.n_containers for a in trace.applications)
+    sim = Simulator(trace, n_machines=max(1, round(total_cpu / 32 / 0.92)))
+    print(
+        f"Replaying {trace.n_containers} containers ({trace.n_apps} LLAs) "
+        f"onto {sim.n_machines} machines, order={order.value}\n"
+    )
+
+    schedulers = [
+        GoKubeScheduler(),
+        FirmamentScheduler(FirmamentPolicy.TRIVIAL, reschd=8),
+        FirmamentScheduler(FirmamentPolicy.QUINCY, reschd=8),
+        FirmamentScheduler(FirmamentPolicy.OCTOPUS, reschd=8),
+        MedeaScheduler(MedeaWeights(1, 1, 1)),
+        MedeaScheduler(MedeaWeights(1, 1, 0)),
+        AladdinScheduler(),
+    ]
+    metrics = []
+    for scheduler in schedulers:
+        result = sim.run(scheduler, order)
+        metrics.append(result.metrics)
+        print(result.summary())
+
+    print("\n" + metrics_table(metrics, title="Summary"))
+    print("\nRelative efficiency (Equation 10, 0.0 = best):")
+    for name, eff in relative_efficiency(metrics).items():
+        print(f"  {name:28s} {eff:+.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so PEP-517 editable
+installs are unavailable; this shim enables the legacy
+``pip install -e . --no-use-pep517`` path.  Metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

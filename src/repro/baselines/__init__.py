@@ -1,0 +1,52 @@
+"""The Table-I comparator schedulers.
+
+============================  =====================================================
+Name                          Description (Table I of the paper)
+============================  =====================================================
+``Firmament-TRIVIAL``         Containers always scheduled if resources are idle.
+``Firmament-QUINCY``          Original Quincy cost model, lower cost priority.
+``Firmament-OCTOPUS``         Simple load balancing based on container counts.
+``Medea``                     Balance resource efficiency and constraint violations.
+``Go-Kube``                   Scoring machines and choose the best one.
+============================  =====================================================
+
+:data:`SCHEDULERS` is the registry used by the Table-I benchmark and by
+the experiment runner to instantiate any comparator by name.
+"""
+
+from repro.baselines.kube import GoKubeScheduler
+from repro.baselines.firmament import FirmamentScheduler, FirmamentPolicy
+from repro.baselines.medea import MedeaScheduler, MedeaWeights
+
+#: name -> (factory, Table-I description)
+SCHEDULERS = {
+    "Go-Kube": (
+        lambda: GoKubeScheduler(),
+        "Scoring machines and choose the best one.",
+    ),
+    "Firmament-TRIVIAL": (
+        lambda: FirmamentScheduler(FirmamentPolicy.TRIVIAL),
+        "Containers always scheduled if resources are idle.",
+    ),
+    "Firmament-QUINCY": (
+        lambda: FirmamentScheduler(FirmamentPolicy.QUINCY),
+        "Original Quincy cost model, lower cost priority.",
+    ),
+    "Firmament-OCTOPUS": (
+        lambda: FirmamentScheduler(FirmamentPolicy.OCTOPUS),
+        "Simple load balancing based on container counts.",
+    ),
+    "Medea": (
+        lambda: MedeaScheduler(),
+        "Balance resource efficiency and constraint violations.",
+    ),
+}
+
+__all__ = [
+    "GoKubeScheduler",
+    "FirmamentScheduler",
+    "FirmamentPolicy",
+    "MedeaScheduler",
+    "MedeaWeights",
+    "SCHEDULERS",
+]

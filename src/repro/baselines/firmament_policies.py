@@ -1,0 +1,73 @@
+"""Firmament cost models (the three policies used in the evaluation).
+
+Firmament maps scheduling to a min-cost flow problem; a *policy* is the
+cost model that ranks machines for a container.  The paper selects the
+three most used of the eight in the Firmament code base (Section V.A):
+
+* **TRIVIAL** — schedule whenever resources are idle, preferring the
+  most packed machine ("it always tries to deploy a container to the
+  most packed machines", Section V.B);
+* **QUINCY** — the original Quincy cost model: each placement carries a
+  cost and the global solve prefers lower total cost;
+* **OCTOPUS** — load balancing on container counts: prefer the machine
+  currently running the fewest containers.
+
+Costs are returned per machine so the round driver can either pick
+greedily (TRIVIAL/OCTOPUS, which are local cost models) or hand them to
+the min-cost-flow solve (QUINCY, a global cost model).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.cluster.state import ClusterState
+
+
+class FirmamentPolicy(enum.Enum):
+    """Firmament scheduling policies.
+
+    TRIVIAL, QUINCY and OCTOPUS are the three the paper evaluates
+    (Section V.A selects "the three most used" of the code base's
+    eight); RANDOM is one more of those eight, kept as a floor
+    baseline for the ablations.
+    """
+
+    TRIVIAL = "trivial"
+    QUINCY = "quincy"
+    OCTOPUS = "octopus"
+    RANDOM = "random"
+
+
+def machine_costs(
+    policy: FirmamentPolicy,
+    state: ClusterState,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Per-machine placement cost under ``policy`` (lower is better).
+
+    Costs are computed against the *current* state, once per scheduling
+    pass; the round driver adds the resource-feasibility filter.
+    """
+    if policy is FirmamentPolicy.TRIVIAL:
+        # Most packed first: cost grows with remaining CPU.
+        return state.available[:, 0].astype(np.float64)
+    if policy is FirmamentPolicy.OCTOPUS:
+        return state.container_count.astype(np.float64)
+    if policy is FirmamentPolicy.RANDOM:
+        if rng is None:
+            rng = np.random.default_rng(0)
+        return rng.random(state.n_machines)
+    if policy is FirmamentPolicy.QUINCY:
+        # Quincy charges for the resources a placement would strand:
+        # an almost-full and an almost-empty machine are both cheap
+        # (good packing / cheap preemption respectively), middling
+        # machines cost the most.  This is the shape of the original
+        # cost model with data-locality terms degenerate (containers
+        # here have no input data).
+        cap = state.topology.capacity[:, 0]
+        frac_free = state.available[:, 0] / cap
+        return (frac_free * (1.0 - frac_free) * 4.0 + frac_free * 0.5) * cap
+    raise ValueError(f"unknown policy {policy!r}")

@@ -1,0 +1,267 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the reproduction's main entry
+points without writing any Python:
+
+* ``gen-trace``   — generate and save a calibrated synthetic trace;
+* ``stats``       — print the Fig. 8 workload statistics of a trace;
+* ``replay``      — replay a trace through one or more schedulers;
+* ``min-cluster`` — the Fig. 10 minimum-cluster-size search;
+* ``online``      — the arrival/departure churn simulation;
+* ``faults``      — replay, kill machines, recover;
+* ``experiments`` — regenerate the full evaluation as markdown.
+
+Every command accepts ``--scale`` and ``--seed`` (or ``--load`` for a
+previously saved trace) and prints the same tables the benchmark
+harness emits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines import SCHEDULERS
+from repro.core import AladdinConfig, AladdinScheduler
+from repro.report import format_series, format_table, metrics_table
+from repro.sim import Simulator, minimum_cluster_size
+from repro.trace import (
+    ArrivalOrder,
+    generate_trace,
+    load_trace,
+    save_trace,
+    workload_stats,
+)
+
+#: CLI scheduler names → factories (registry plus Aladdin variants).
+def _scheduler_factories() -> dict[str, object]:
+    out = {name: factory for name, (factory, _) in SCHEDULERS.items()}
+    out["Aladdin"] = lambda: AladdinScheduler()
+    out["Aladdin-noopt"] = lambda: AladdinScheduler(
+        AladdinConfig(enable_il=False, enable_dl=False)
+    )
+    return out
+
+
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="trace scale relative to the paper's (default 0.05)")
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument("--load", metavar="STEM",
+                        help="load a saved trace instead of generating one")
+
+
+def _trace_from(args) -> object:
+    if args.load:
+        return load_trace(args.load)
+    return generate_trace(scale=args.scale, seed=args.seed)
+
+
+def _order_from(args) -> ArrivalOrder:
+    return ArrivalOrder(args.order)
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def cmd_gen_trace(args) -> int:
+    trace = generate_trace(scale=args.scale, seed=args.seed)
+    apps_path, conflicts_path = save_trace(trace, args.out)
+    print(f"wrote {apps_path} and {conflicts_path}")
+    print(f"  {trace.n_apps} applications, {trace.n_containers} containers")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    trace = _trace_from(args)
+    rows = [[k, v] for k, v in workload_stats(trace).as_rows()]
+    print(format_table(["metric", "value"], rows, title="Workload statistics"))
+    return 0
+
+
+def cmd_replay(args) -> int:
+    trace = _trace_from(args)
+    factories = _scheduler_factories()
+    names = args.schedulers or list(factories)
+    unknown = [n for n in names if n not in factories]
+    if unknown:
+        print(f"unknown schedulers: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(factories)}", file=sys.stderr)
+        return 2
+    sim = Simulator(
+        trace,
+        n_machines=args.machines,
+        machine_pool_factor=args.pool_factor,
+    )
+    metrics = []
+    for name in names:
+        result = sim.run(factories[name](), _order_from(args))
+        metrics.append(result.metrics)
+        print(result.summary())
+    print()
+    print(metrics_table(metrics, title=f"Replay [{args.order}]"))
+    return 0
+
+
+def cmd_min_cluster(args) -> int:
+    trace = _trace_from(args)
+    factories = _scheduler_factories()
+    names = args.schedulers or ["Aladdin", "Go-Kube"]
+    rows = []
+    for name in names:
+        if name not in factories:
+            print(f"unknown scheduler {name}", file=sys.stderr)
+            return 2
+        n = minimum_cluster_size(trace, factories[name], _order_from(args))
+        rows.append([name, n])
+        print(f"{name}: {n} machines")
+    print()
+    print(format_table(["scheduler", "machines used"], rows,
+                       title=f"Minimum cluster size [{args.order}]"))
+    return 0
+
+
+def cmd_online(args) -> int:
+    from repro.sim.online import OnlineConfig, OnlineSimulator
+
+    trace = _trace_from(args)
+    factories = _scheduler_factories()
+    if args.scheduler not in factories:
+        print(f"unknown scheduler {args.scheduler}", file=sys.stderr)
+        return 2
+    sim = OnlineSimulator(
+        trace,
+        OnlineConfig(
+            ticks=args.ticks,
+            arrival_order=_order_from(args),
+            seed=args.seed,
+        ),
+    )
+    result = sim.run(factories[args.scheduler]())
+    step = max(1, len(result.samples) // 20)
+    print(format_series(
+        "running containers over time",
+        result.series("running_containers")[::step],
+    ))
+    print(f"\narrived {result.total_arrived}, departed "
+          f"{result.total_departed}, failed {result.total_failed} "
+          f"({result.failure_rate:.1%}), peak machines "
+          f"{result.peak_used_machines}, migrations {result.total_migrations}")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.report import ExperimentOptions, run_all_experiments
+
+    trace = _trace_from(args)
+    options = ExperimentOptions(
+        include_fig10=not args.quick,
+        include_fig12=not args.quick,
+    )
+    report = run_all_experiments(trace, options)
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def cmd_faults(args) -> int:
+    from repro.sim.faults import fail_machines, random_failures, recover
+
+    import numpy as np
+
+    trace = _trace_from(args)
+    sim = Simulator(trace, machine_pool_factor=args.pool_factor)
+    run = sim.run(AladdinScheduler(), _order_from(args))
+    state = run.state
+    victims = random_failures(
+        state, args.failures, rng=np.random.default_rng(args.seed)
+    )
+    report = fail_machines(state, victims)
+    recover(report, state, AladdinScheduler())
+    print(f"failed machines: {victims}")
+    print(f"displaced {report.n_displaced} containers; recovered "
+          f"{report.recovered}, lost {report.lost} "
+          f"(migrations {report.recovery_migrations})")
+    sizes = {a.app_id: a.n_containers for a in trace.applications}
+    print(f"worst per-app downtime fraction: "
+          f"{report.max_app_downtime_fraction(sizes):.1%}")
+    print(f"violations after recovery: {state.anti_affinity_violations()}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Aladdin (IPDPS 2019): trace "
+        "generation, replays and experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("gen-trace", help="generate and save a trace")
+    p.add_argument("out", help="output stem (writes <out>.apps.csv etc.)")
+    p.add_argument("--scale", type=float, default=0.05)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_gen_trace)
+
+    p = sub.add_parser("stats", help="Fig. 8 workload statistics")
+    _add_trace_args(p)
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("replay", help="replay a trace through schedulers")
+    _add_trace_args(p)
+    p.add_argument("--schedulers", nargs="*", metavar="NAME",
+                   help="subset of schedulers (default: all)")
+    p.add_argument("--order", default="trace",
+                   choices=[o.value for o in ArrivalOrder])
+    p.add_argument("--machines", type=int, default=None)
+    p.add_argument("--pool-factor", type=float, default=1.0)
+    p.set_defaults(fn=cmd_replay)
+
+    p = sub.add_parser("min-cluster",
+                       help="Fig. 10 minimum cluster size per scheduler")
+    _add_trace_args(p)
+    p.add_argument("--schedulers", nargs="*", metavar="NAME")
+    p.add_argument("--order", default="trace",
+                   choices=[o.value for o in ArrivalOrder])
+    p.set_defaults(fn=cmd_min_cluster)
+
+    p = sub.add_parser("online", help="arrival/departure churn simulation")
+    _add_trace_args(p)
+    p.add_argument("--scheduler", default="Aladdin")
+    p.add_argument("--ticks", type=int, default=50)
+    p.add_argument("--order", default="trace",
+                   choices=[o.value for o in ArrivalOrder])
+    p.set_defaults(fn=cmd_online)
+
+    p = sub.add_parser("experiments",
+                       help="regenerate the full evaluation as markdown")
+    _add_trace_args(p)
+    p.add_argument("--out", help="write the report to a file")
+    p.add_argument("--quick", action="store_true",
+                   help="skip the slow Fig. 10/12 sections")
+    p.set_defaults(fn=cmd_experiments)
+
+    p = sub.add_parser("faults", help="fail machines and recover")
+    _add_trace_args(p)
+    p.add_argument("--failures", type=int, default=5)
+    p.add_argument("--order", default="trace",
+                   choices=[o.value for o in ArrivalOrder])
+    p.add_argument("--pool-factor", type=float, default=1.2)
+    p.set_defaults(fn=cmd_faults)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

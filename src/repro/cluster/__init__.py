@@ -1,0 +1,54 @@
+"""Cluster substrate: machines, topology, containers, constraints and state.
+
+This package models the shared production cluster that every scheduler in
+the reproduction places containers onto.  It mirrors the entities of the
+paper's Section II/III:
+
+* :class:`~repro.cluster.machine.MachineSpec` — a homogeneous machine
+  (the Alibaba trace uses 32 CPU / 64 GB machines).
+* :class:`~repro.cluster.topology.ClusterTopology` — machines grouped into
+  racks and (sub-)clusters, matching the ``G``/``R`` vertex layers of
+  Aladdin's flow network (Fig. 4).
+* :class:`~repro.cluster.container.Container` /
+  :class:`~repro.cluster.container.Application` — long-lived applications
+  (LLAs) and their isomorphic containers.
+* :class:`~repro.cluster.constraints.ConstraintSet` — anti-affinity within
+  and across applications plus priority classes.
+* :class:`~repro.cluster.state.ClusterState` — the vectorised mutable state
+  (available resources, deployments, per-application machine sets) shared
+  by all schedulers.
+"""
+
+from repro.cluster.machine import MachineSpec
+from repro.cluster.topology import (
+    ClusterSpec,
+    ClusterTopology,
+    build_cluster,
+    build_heterogeneous_cluster,
+)
+from repro.cluster.container import Application, Container, containers_of
+from repro.cluster.constraints import (
+    AntiAffinityRule,
+    ConstraintSet,
+    PRIORITY_CLASSES,
+)
+from repro.cluster.state import ClusterState
+from repro.cluster.events import Event, EventKind, EventLog
+
+__all__ = [
+    "MachineSpec",
+    "ClusterSpec",
+    "ClusterTopology",
+    "build_cluster",
+    "build_heterogeneous_cluster",
+    "Application",
+    "Container",
+    "containers_of",
+    "AntiAffinityRule",
+    "ConstraintSet",
+    "PRIORITY_CLASSES",
+    "ClusterState",
+    "Event",
+    "EventKind",
+    "EventLog",
+]

@@ -1,0 +1,59 @@
+"""Lifecycle events.
+
+The paper's implementation (Section IV.C, Fig. 6) routes "all kinds of
+changes in the LLAs' life-cycles and resources" through an events
+handling center.  This module defines the event records; the EHC itself
+lives in :mod:`repro.kube.ehc`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class EventKind(enum.Enum):
+    """Kinds of cluster life-cycle events."""
+
+    SUBMIT = "submit"
+    DEPLOY = "deploy"
+    EVICT = "evict"
+    MIGRATE = "migrate"
+    FAIL = "fail"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One life-cycle event.
+
+    ``source_machine`` is only set for :attr:`EventKind.MIGRATE` and
+    holds the machine the container moved away from.
+    """
+
+    kind: EventKind
+    time: int
+    container_id: int
+    machine_id: int | None = None
+    source_machine: int | None = None
+
+
+@dataclass
+class EventLog:
+    """Append-only event sequence with simple query helpers."""
+
+    events: list[Event] = field(default_factory=list)
+
+    def append(self, event: Event) -> None:
+        self.events.append(event)
+
+    def of_kind(self, kind: EventKind) -> list[Event]:
+        return [e for e in self.events if e.kind is kind]
+
+    def count(self, kind: EventKind) -> int:
+        return sum(1 for e in self.events if e.kind is kind)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

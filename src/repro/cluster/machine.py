@@ -1,0 +1,71 @@
+"""Machine specification.
+
+The paper's evaluation cluster is homogeneous: every machine offers
+32 CPUs and 64 GB of memory (Section V.A).  We keep the specification
+multidimensional — Aladdin's capacity function is explicitly
+*multidimensional* (Section III.A) — but the evaluation defaults to the
+(cpu, mem_gb) pair, and the Firmament-fairness experiments restrict the
+comparison to CPU only (Section V.A, limitation (i)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Resource dimensions used throughout the reproduction, in array order.
+DEFAULT_RESOURCES: tuple[str, ...] = ("cpu", "mem_gb")
+
+#: The Alibaba trace machine shape (Section V.A).
+ALIBABA_MACHINE_CPU = 32.0
+ALIBABA_MACHINE_MEM_GB = 64.0
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Immutable description of a single machine's resource capacity.
+
+    Parameters
+    ----------
+    cpu:
+        Number of CPU cores the machine offers.
+    mem_gb:
+        Memory in gigabytes.
+    resources:
+        Names of the resource dimensions, in the order used by
+        :meth:`capacity_vector`.  Extending this tuple (e.g. with
+        ``"gpu"``) grows the dimension count ``c`` of the capacity
+        function; the paper notes the effect of ``c`` on the algorithm
+        is linear (Section IV.D).
+    """
+
+    cpu: float = ALIBABA_MACHINE_CPU
+    mem_gb: float = ALIBABA_MACHINE_MEM_GB
+    resources: tuple[str, ...] = field(default=DEFAULT_RESOURCES)
+
+    def __post_init__(self) -> None:
+        if self.cpu <= 0:
+            raise ValueError(f"machine cpu must be positive, got {self.cpu}")
+        if self.mem_gb <= 0:
+            raise ValueError(f"machine mem_gb must be positive, got {self.mem_gb}")
+        unknown = set(self.resources) - {"cpu", "mem_gb"}
+        if unknown:
+            raise ValueError(f"unknown resource dimensions: {sorted(unknown)}")
+        if not self.resources:
+            raise ValueError("at least one resource dimension is required")
+
+    def capacity_vector(self) -> np.ndarray:
+        """Return this machine's capacity as a float vector.
+
+        The vector is ordered like :attr:`resources` so it can be compared
+        element-wise against container demand vectors (the ``≤`` of the
+        paper's Equation 6).
+        """
+        values = {"cpu": self.cpu, "mem_gb": self.mem_gb}
+        return np.array([values[name] for name in self.resources], dtype=np.float64)
+
+    @property
+    def n_dims(self) -> int:
+        """Dimension count ``c`` of the capacity function."""
+        return len(self.resources)

@@ -1,0 +1,338 @@
+"""Mutable, vectorised cluster state shared by all schedulers.
+
+``ClusterState`` tracks, per machine, the remaining resource vector and
+the deployed containers, plus the inverted index (application → machines
+hosting it) that makes the paper's blacklist function (Equations 7–8)
+cheap to evaluate: the blacklist of a machine is induced by the
+applications already deployed on it, so the set of machines *forbidden*
+for an application is the union of the machine sets of its conflicting
+applications.
+
+All hot paths are NumPy operations over dense machine ids; Python-level
+dictionaries only appear per-deployment, never per-machine-scan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.constraints import ConstraintSet
+from repro.cluster.container import Container
+from repro.cluster.events import Event, EventKind, EventLog
+from repro.cluster.topology import ClusterTopology
+
+
+class ClusterState:
+    """Resource and deployment state of a cluster during scheduling.
+
+    Parameters
+    ----------
+    topology:
+        Static machine/rack/cluster layout and capacities.
+    constraints:
+        Anti-affinity index for the workload being scheduled.
+    track_events:
+        When true, every deploy/evict/migrate is appended to
+        :attr:`events` (used by the Kubernetes co-design layer and by
+        tests; off by default for speed).
+    """
+
+    def __init__(
+        self,
+        topology: ClusterTopology,
+        constraints: ConstraintSet | None = None,
+        track_events: bool = False,
+    ) -> None:
+        self.topology = topology
+        self.constraints = constraints if constraints is not None else ConstraintSet()
+        n = topology.n_machines
+        #: remaining resources, shape (n_machines, n_dims)
+        self.available = topology.capacity.copy()
+        #: number of containers deployed per machine
+        self.container_count = np.zeros(n, dtype=np.int32)
+        #: container id -> machine id
+        self.assignment: dict[int, int] = {}
+        #: container id -> Container (for eviction/migration bookkeeping)
+        self._containers: dict[int, Container] = {}
+        #: machine id -> set of deployed container ids
+        self.machine_containers: dict[int, set[int]] = {}
+        #: app id -> {machine id -> number of its containers there}
+        self.app_machines: dict[int, dict[int, int]] = {}
+        self.events: EventLog | None = EventLog() if track_events else None
+        self._clock = 0
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def n_machines(self) -> int:
+        return self.topology.n_machines
+
+    def machines_hosting(self, app_id: int) -> dict[int, int]:
+        """Machines currently hosting ``app_id`` (machine id → count)."""
+        return self.app_machines.get(app_id, {})
+
+    def forbidden_mask(self, app_id: int) -> np.ndarray:
+        """Boolean mask of machines blacklisted for ``app_id``.
+
+        This realises the nonlinear, set-based capacity function of
+        Equations 7–8: machine ``N`` is forbidden for a container of
+        application ``a`` when ``N`` already hosts a container of ``a``
+        itself (anti-affinity within) or of any application conflicting
+        with ``a`` (anti-affinity across).
+        """
+        mask = np.zeros(self.n_machines, dtype=bool)
+        cs = self.constraints
+        if cs.has_within(app_id):
+            hosting = self.app_machines.get(app_id)
+            if hosting:
+                if cs.within_scope(app_id) == "rack":
+                    # Rack-domain spreading: every machine in a rack
+                    # already hosting the app is blacklisted.
+                    racks = np.unique(self.topology.rack_of[list(hosting)])
+                    mask[np.isin(self.topology.rack_of, racks)] = True
+                else:
+                    mask[list(hosting)] = True
+        for other in cs.conflicts_of(app_id):
+            hosting = self.app_machines.get(other)
+            if hosting:
+                mask[list(hosting)] = True
+        return mask
+
+    def feasible_mask(
+        self,
+        demand: np.ndarray,
+        app_id: int | None = None,
+        respect_anti_affinity: bool = True,
+    ) -> np.ndarray:
+        """Machines that can legally accept one container of ``demand``.
+
+        A machine is feasible when its remaining resource vector
+        dominates ``demand`` (Equation 6) and — if ``app_id`` is given
+        and ``respect_anti_affinity`` — it is not blacklisted.
+        """
+        ok = (self.available >= demand).all(axis=1)
+        if app_id is not None and respect_anti_affinity:
+            ok &= ~self.forbidden_mask(app_id)
+        return ok
+
+    def would_violate(self, container: Container, machine_id: int) -> bool:
+        """True if placing ``container`` on ``machine_id`` breaks an
+        anti-affinity rule (resources are not checked here)."""
+        cs = self.constraints
+        for cid in self.machine_containers.get(machine_id, ()):
+            other = self._containers[cid]
+            if cs.violates(container.app_id, other.app_id):
+                return True
+        # Rack-scoped within-rules also forbid rack-mates.
+        if (
+            cs.has_within(container.app_id)
+            and cs.within_scope(container.app_id) == "rack"
+        ):
+            rack = int(self.topology.rack_of[machine_id])
+            for m in self.app_machines.get(container.app_id, ()):
+                if int(self.topology.rack_of[m]) == rack:
+                    return True
+        return False
+
+    def fits(self, demand: np.ndarray, machine_id: int) -> bool:
+        """True when ``machine_id`` has room for ``demand``."""
+        return bool((self.available[machine_id] >= demand).all())
+
+    def affinity_mask(self, app_id: int) -> np.ndarray | None:
+        """Machines hosting an application ``app_id`` is affine to.
+
+        ``None`` when the app has no affinity preferences (the common
+        case — callers skip the soft-scoring branch entirely).
+        """
+        affine = self.constraints.affinities_of(app_id)
+        if not affine:
+            return None
+        mask = np.zeros(self.n_machines, dtype=bool)
+        for other in affine:
+            hosting = self.app_machines.get(other)
+            if hosting:
+                mask[list(hosting)] = True
+        return mask
+
+    def container(self, container_id: int) -> Container:
+        """Return the deployed container with ``container_id``."""
+        return self._containers[container_id]
+
+    def deployed_containers(self, machine_id: int) -> list[Container]:
+        """Containers currently deployed on ``machine_id``."""
+        return [
+            self._containers[cid]
+            for cid in self.machine_containers.get(machine_id, ())
+        ]
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+    def deploy(
+        self,
+        container: Container,
+        machine_id: int,
+        demand: np.ndarray | None = None,
+        force: bool = False,
+    ) -> None:
+        """Place ``container`` on ``machine_id`` and update all indices.
+
+        ``force=True`` permits anti-affinity violations (some baseline
+        schedulers knowingly place in violation — e.g. Medea with a
+        non-zero violation weight); resource capacity is never allowed
+        to go negative.
+        """
+        if container.container_id in self.assignment:
+            raise ValueError(
+                f"container {container.container_id} is already deployed on "
+                f"machine {self.assignment[container.container_id]}"
+            )
+        if demand is None:
+            demand = container.demand_vector(self.topology.resources)
+        if not self.fits(demand, machine_id):
+            raise ValueError(
+                f"machine {machine_id} lacks resources for container "
+                f"{container.container_id}: available="
+                f"{self.available[machine_id]}, demand={demand}"
+            )
+        if not force and self.would_violate(container, machine_id):
+            raise ValueError(
+                f"placing container {container.container_id} "
+                f"(app {container.app_id}) on machine {machine_id} violates "
+                "an anti-affinity constraint (pass force=True to override)"
+            )
+        self.available[machine_id] -= demand
+        self.container_count[machine_id] += 1
+        self.assignment[container.container_id] = machine_id
+        self._containers[container.container_id] = container
+        self.machine_containers.setdefault(machine_id, set()).add(
+            container.container_id
+        )
+        per_machine = self.app_machines.setdefault(container.app_id, {})
+        per_machine[machine_id] = per_machine.get(machine_id, 0) + 1
+        self._record(EventKind.DEPLOY, container.container_id, machine_id)
+
+    def evict(self, container_id: int) -> Container:
+        """Remove a deployed container, returning it for re-queueing."""
+        if container_id not in self.assignment:
+            raise KeyError(f"container {container_id} is not deployed")
+        machine_id = self.assignment.pop(container_id)
+        container = self._containers.pop(container_id)
+        demand = container.demand_vector(self.topology.resources)
+        self.available[machine_id] += demand
+        self.container_count[machine_id] -= 1
+        self.machine_containers[machine_id].discard(container_id)
+        per_machine = self.app_machines[container.app_id]
+        per_machine[machine_id] -= 1
+        if per_machine[machine_id] == 0:
+            del per_machine[machine_id]
+        self._record(EventKind.EVICT, container_id, machine_id)
+        return container
+
+    def migrate(self, container_id: int, target_machine: int) -> None:
+        """Move a deployed container to ``target_machine`` atomically."""
+        source = self.assignment.get(container_id)
+        if source is None:
+            raise KeyError(f"container {container_id} is not deployed")
+        container = self.evict(container_id)
+        self.deploy(container, target_machine)
+        self._record(EventKind.MIGRATE, container_id, target_machine, source)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def used_machines(self) -> int:
+        """Number of machines hosting at least one container."""
+        return int((self.container_count > 0).sum())
+
+    def utilization(self, dim: int = 0) -> np.ndarray:
+        """Per-machine utilisation fraction along resource ``dim``."""
+        cap = self.topology.capacity[:, dim]
+        return (cap - self.available[:, dim]) / cap
+
+    def used_utilization(self, dim: int = 0) -> np.ndarray:
+        """Utilisation of only the machines that host containers."""
+        util = self.utilization(dim)
+        return util[self.container_count > 0]
+
+    def anti_affinity_violations(self) -> int:
+        """Count deployed containers whose placement breaks a rule.
+
+        Each offending container counts once (a machine hosting two
+        containers of a within-anti-affinity app contributes two; for
+        rack-scoped rules the co-location domain is the rack).
+        """
+        cs = self.constraints
+        violations = 0
+        for machine_id, cids in self.machine_containers.items():
+            if len(cids) < 2:
+                continue
+            apps: dict[int, int] = {}
+            for cid in cids:
+                app = self._containers[cid].app_id
+                apps[app] = apps.get(app, 0) + 1
+            app_ids = list(apps)
+            bad_apps: set[int] = set()
+            for i, a in enumerate(app_ids):
+                if (
+                    apps[a] > 1
+                    and cs.has_within(a)
+                    and cs.within_scope(a) == "machine"
+                ):
+                    bad_apps.add(a)
+                for b in app_ids[i + 1 :]:
+                    if cs.violates(a, b):
+                        bad_apps.add(a)
+                        bad_apps.add(b)
+            for a in bad_apps:
+                violations += apps[a]
+        # Rack-scoped within-rules: count containers sharing a rack with
+        # a sibling of the same application.
+        for app_id, per_machine in self.app_machines.items():
+            if not per_machine or not cs.has_within(app_id):
+                continue
+            if cs.within_scope(app_id) != "rack":
+                continue
+            rack_counts: dict[int, int] = {}
+            for m, count in per_machine.items():
+                rack = int(self.topology.rack_of[m])
+                rack_counts[rack] = rack_counts.get(rack, 0) + count
+            for count in rack_counts.values():
+                if count > 1:
+                    violations += count
+        return violations
+
+    def snapshot(self) -> "ClusterState":
+        """Deep-copy the mutable state (topology/constraints are shared)."""
+        clone = ClusterState(self.topology, self.constraints)
+        clone.available = self.available.copy()
+        clone.container_count = self.container_count.copy()
+        clone.assignment = dict(self.assignment)
+        clone._containers = dict(self._containers)
+        clone.machine_containers = {
+            m: set(s) for m, s in self.machine_containers.items()
+        }
+        clone.app_machines = {
+            a: dict(d) for a, d in self.app_machines.items()
+        }
+        return clone
+
+    def _record(
+        self,
+        kind: EventKind,
+        container_id: int,
+        machine_id: int,
+        source_machine: int | None = None,
+    ) -> None:
+        if self.events is not None:
+            self._clock += 1
+            self.events.append(
+                Event(
+                    kind=kind,
+                    time=self._clock,
+                    container_id=container_id,
+                    machine_id=machine_id,
+                    source_machine=source_machine,
+                )
+            )

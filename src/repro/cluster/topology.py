@@ -1,0 +1,191 @@
+"""Cluster topology: machines grouped into racks and sub-clusters.
+
+Aladdin's flow network introduces cluster vertices ``G`` and rack vertices
+``R`` between applications and machines (Section III.A) to cut the edge
+count from ``O(|T|·|N|)`` to ``O(|T| + |A|·|R| + |N|)``.  This module
+provides the static grouping those vertex layers are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.machine import MachineSpec
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Parameters describing a homogeneous cluster.
+
+    Defaults approximate the paper's evaluation topology: racks of 40
+    machines and sub-clusters of 2,500 machines, which at the full 10,000
+    machine scale yields 250 racks and 4 sub-clusters.
+
+    Parameters
+    ----------
+    n_machines:
+        Total machine count.
+    machine:
+        Per-machine resource capacity.
+    machines_per_rack:
+        Rack width; the final rack may be partially filled.
+    racks_per_cluster:
+        Number of racks grouped into one sub-cluster vertex ``G``.
+    """
+
+    n_machines: int
+    machine: MachineSpec = MachineSpec()
+    machines_per_rack: int = 40
+    racks_per_cluster: int = 63
+
+    def __post_init__(self) -> None:
+        if self.n_machines <= 0:
+            raise ValueError(f"n_machines must be positive, got {self.n_machines}")
+        if self.machines_per_rack <= 0:
+            raise ValueError("machines_per_rack must be positive")
+        if self.racks_per_cluster <= 0:
+            raise ValueError("racks_per_cluster must be positive")
+
+
+class ClusterTopology:
+    """Static machine → rack → sub-cluster grouping.
+
+    Machines, racks and sub-clusters are identified by dense integer ids
+    so every lookup is a NumPy gather.
+
+    The paper's evaluation cluster is homogeneous; heterogeneous
+    capacities (its stated future work, Section VII) are supported by
+    passing an explicit per-machine ``capacity`` matrix — every
+    scheduler in the repository reads capacities through this matrix,
+    so mixed machine shapes work throughout.
+
+    Attributes
+    ----------
+    rack_of:
+        ``int32`` array mapping machine id → rack id.
+    cluster_of:
+        ``int32`` array mapping machine id → sub-cluster id.
+    capacity:
+        ``(n_machines, n_dims)`` float array of per-machine capacity.
+    """
+
+    def __init__(
+        self, spec: ClusterSpec, capacity: np.ndarray | None = None
+    ) -> None:
+        self.spec = spec
+        n = spec.n_machines
+        machine_ids = np.arange(n, dtype=np.int32)
+        self.rack_of = machine_ids // spec.machines_per_rack
+        self.cluster_of = self.rack_of // spec.racks_per_cluster
+        self.n_racks = int(self.rack_of[-1]) + 1
+        self.n_clusters = int(self.cluster_of[-1]) + 1
+        if capacity is None:
+            capacity = np.tile(spec.machine.capacity_vector(), (n, 1))
+        else:
+            capacity = np.asarray(capacity, dtype=np.float64)
+            if capacity.shape != (n, spec.machine.n_dims):
+                raise ValueError(
+                    f"capacity shape {capacity.shape} does not match "
+                    f"({n}, {spec.machine.n_dims})"
+                )
+            if (capacity <= 0).any():
+                raise ValueError("per-machine capacities must be positive")
+        self.capacity = capacity
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when every machine has the same capacity vector."""
+        return bool((self.capacity == self.capacity[0]).all())
+
+    @property
+    def n_machines(self) -> int:
+        return self.spec.n_machines
+
+    @property
+    def n_dims(self) -> int:
+        return self.spec.machine.n_dims
+
+    @property
+    def resources(self) -> tuple[str, ...]:
+        return self.spec.machine.resources
+
+    def machines_in_rack(self, rack_id: int) -> np.ndarray:
+        """Return machine ids that belong to ``rack_id``."""
+        if not 0 <= rack_id < self.n_racks:
+            raise IndexError(f"rack {rack_id} out of range [0, {self.n_racks})")
+        lo = rack_id * self.spec.machines_per_rack
+        hi = min(lo + self.spec.machines_per_rack, self.n_machines)
+        return np.arange(lo, hi, dtype=np.int32)
+
+    def racks_in_cluster(self, cluster_id: int) -> np.ndarray:
+        """Return rack ids that belong to sub-cluster ``cluster_id``."""
+        if not 0 <= cluster_id < self.n_clusters:
+            raise IndexError(
+                f"cluster {cluster_id} out of range [0, {self.n_clusters})"
+            )
+        lo = cluster_id * self.spec.racks_per_cluster
+        hi = min(lo + self.spec.racks_per_cluster, self.n_racks)
+        return np.arange(lo, hi, dtype=np.int32)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClusterTopology(n_machines={self.n_machines}, "
+            f"n_racks={self.n_racks}, n_clusters={self.n_clusters})"
+        )
+
+
+def build_cluster(
+    n_machines: int,
+    machine: MachineSpec | None = None,
+    machines_per_rack: int = 40,
+    racks_per_cluster: int = 63,
+) -> ClusterTopology:
+    """Convenience constructor for a homogeneous cluster topology."""
+    spec = ClusterSpec(
+        n_machines=n_machines,
+        machine=machine if machine is not None else MachineSpec(),
+        machines_per_rack=machines_per_rack,
+        racks_per_cluster=racks_per_cluster,
+    )
+    return ClusterTopology(spec)
+
+
+def build_heterogeneous_cluster(
+    groups: list[tuple[int, MachineSpec]],
+    machines_per_rack: int = 40,
+    racks_per_cluster: int = 63,
+) -> ClusterTopology:
+    """Cluster with mixed machine shapes (the paper's future work).
+
+    ``groups`` is a list of ``(count, spec)`` pairs; machines are laid
+    out group-by-group, so each rack tends to be shape-uniform, as real
+    procurement generations are.  All groups must share the same
+    resource-dimension tuple.
+
+    >>> topo = build_heterogeneous_cluster([
+    ...     (100, MachineSpec(cpu=32, mem_gb=64)),
+    ...     (50, MachineSpec(cpu=96, mem_gb=384)),
+    ... ])
+    """
+    if not groups:
+        raise ValueError("at least one machine group is required")
+    resources = groups[0][1].resources
+    rows = []
+    for count, spec in groups:
+        if count <= 0:
+            raise ValueError(f"group count must be positive, got {count}")
+        if spec.resources != resources:
+            raise ValueError(
+                "all machine groups must share the same resource dimensions"
+            )
+        rows.append(np.tile(spec.capacity_vector(), (count, 1)))
+    capacity = np.concatenate(rows, axis=0)
+    spec = ClusterSpec(
+        n_machines=capacity.shape[0],
+        machine=groups[0][1],
+        machines_per_rack=machines_per_rack,
+        racks_per_cluster=racks_per_cluster,
+    )
+    return ClusterTopology(spec, capacity=capacity)

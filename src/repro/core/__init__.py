@@ -1,0 +1,32 @@
+"""Aladdin core: the paper's primary contribution.
+
+* :mod:`~repro.core.weights` — priority weight derivation (Equations 3–5);
+* :mod:`~repro.core.blacklist` — the nonlinear set-based capacity
+  function expressing anti-affinity (Equations 7–8);
+* :mod:`~repro.core.network_builder` — the layered
+  ``source → T → A → G → R → N → sink`` flow network (Section III.A);
+* :mod:`~repro.core.search` — the optimised maximum-flow search with
+  isomorphism limiting and depth limiting (Algorithm 1, Section IV.A);
+* :mod:`~repro.core.migration` — priority-aware preemption and
+  migration (Section III.B, Fig. 3 and Fig. 7);
+* :mod:`~repro.core.scheduler` — :class:`AladdinScheduler`, the
+  end-to-end scheduler.
+"""
+
+from repro.core.config import AladdinConfig
+from repro.core.weights import derive_priority_weights, weighted_flow_value
+from repro.core.blacklist import BlacklistFunction
+from repro.core.network_builder import LayeredNetwork, build_layered_network
+from repro.core.scheduler import AladdinScheduler
+from repro.core.search import FlowPathSearch
+
+__all__ = [
+    "AladdinConfig",
+    "derive_priority_weights",
+    "weighted_flow_value",
+    "BlacklistFunction",
+    "LayeredNetwork",
+    "build_layered_network",
+    "AladdinScheduler",
+    "FlowPathSearch",
+]

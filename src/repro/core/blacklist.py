@@ -1,0 +1,77 @@
+"""The nonlinear set-based capacity function (Equations 7–8).
+
+Linear N-tuple capacities cannot express anti-affinity, so Aladdin
+extends the admission test ``c(s,Ti) ≤ c(Nj,t)`` to a set-membership
+test: after a container is deployed, every application conflicting with
+it joins the machine's *blacklist*, and Equation 8 admits a container
+only when its application is not blacklisted.
+
+:class:`BlacklistFunction` is the queryable object form used by the
+flow-path search and exposed as the ``predicate`` of a
+:class:`~repro.flownet.capacity.VectorCapacity`; the vectorised
+scheduler fast-path uses the equivalent
+:meth:`repro.cluster.state.ClusterState.forbidden_mask`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.state import ClusterState
+
+
+class BlacklistFunction:
+    """Equations 7–8 over a live :class:`ClusterState`.
+
+    The blacklist is *derived* state: it is always computed from the
+    deployed-container sets ``d`` and the anti-affinity rules ``p``, so
+    it can never drift out of sync with deployments.
+    """
+
+    def __init__(self, state: ClusterState) -> None:
+        self._state = state
+
+    def blacklist(self, machine_id: int) -> set[int]:
+        """Equation 7: application ids forbidden on ``machine_id``.
+
+        For every application ``d`` deployed on the machine, its
+        conflict partners are forbidden; ``d`` itself is forbidden too
+        when it carries within-app anti-affinity.  Rack-scoped
+        within-rules extend the forbidden domain to every machine in a
+        rack hosting the application.
+        """
+        state = self._state
+        cs = state.constraints
+        forbidden: set[int] = set()
+        for container in state.deployed_containers(machine_id):
+            forbidden.update(cs.conflicts_of(container.app_id))
+            if cs.has_within(container.app_id):
+                forbidden.add(container.app_id)
+        rack = int(state.topology.rack_of[machine_id])
+        for app_id, per_machine in state.app_machines.items():
+            if app_id in forbidden or not per_machine:
+                continue
+            if cs.has_within(app_id) and cs.within_scope(app_id) == "rack":
+                if any(
+                    int(state.topology.rack_of[m]) == rack
+                    for m in per_machine
+                ):
+                    forbidden.add(app_id)
+        return forbidden
+
+    def admits(self, app_id: int, machine_id: int) -> bool:
+        """Equation 8: 1 when ``app_id`` is deployable on ``machine_id``."""
+        return app_id not in self.blacklist(machine_id)
+
+    def admission_vector(self, app_id: int) -> np.ndarray:
+        """Equation 8 evaluated for every machine at once (0/1 array).
+
+        Equivalent to ``~state.forbidden_mask(app_id)`` — asserted
+        equivalent by the property tests — but computed from the
+        per-machine blacklist definition for fidelity to the paper.
+        """
+        out = np.ones(self._state.n_machines, dtype=bool)
+        for machine_id in self._state.machine_containers:
+            if not self.admits(app_id, machine_id):
+                out[machine_id] = False
+        return out

@@ -1,0 +1,181 @@
+"""Layered flow-network construction (Section III.A, Fig. 4).
+
+Aladdin's network routes ``source → T_i → A_j → G_k → R_x → N_y → sink``.
+Interposing application (``A``), sub-cluster (``G``) and rack (``R``)
+vertices cuts the edge count from ``O(|T|·|N|)`` for the direct bipartite
+form to ``O(|T| + |A|·|G| + |R| + |N|)`` — the optimisation the paper
+credits with sub-second latency at the 100k-container scale.
+
+All edge capacities are infinite except ``c(s, T_i)`` (the container's
+demand along the flow dimension) and ``c(N_j, t)`` (the machine's
+remaining capacity), mirroring Section III.C.  The multidimensional and
+nonlinear parts of the capacity function are enforced by the *search*
+(:class:`repro.core.search.FlowPathSearch`) via
+:class:`~repro.flownet.capacity.VectorCapacity` and
+:class:`~repro.core.blacklist.BlacklistFunction`, not by the scalar edge
+capacities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.container import Container
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import ClusterTopology
+from repro.flownet.graph import FlowNetwork
+
+#: Stand-in for the paper's "infinite" interior edge capacities.
+INF_CAPACITY = 1e18
+
+
+@dataclass
+class LayeredNetwork:
+    """The built network plus the id maps needed to decode flows."""
+
+    net: FlowNetwork
+    topology: ClusterTopology
+    source: int
+    sink: int
+    task_node: dict[int, int]  # container id -> node
+    app_node: dict[int, int]  # app id -> node
+    cluster_node: dict[int, int]  # sub-cluster id -> node
+    rack_node: dict[int, int]  # rack id -> node
+    machine_node: dict[int, int]  # machine id -> node
+    #: forward edge index of s -> T_i, per container id
+    task_edge: dict[int, int] = field(default_factory=dict)
+    #: forward edge index of N_j -> t, per machine id
+    machine_edge: dict[int, int] = field(default_factory=dict)
+
+    def n_edges(self) -> int:
+        return self.net.n_forward_edges()
+
+    def machine_of_node(self) -> dict[int, int]:
+        """Inverse of :attr:`machine_node`."""
+        return {node: machine for machine, node in self.machine_node.items()}
+
+
+def build_layered_network(
+    containers: list[Container],
+    state: ClusterState,
+    flow_dim: int = 0,
+) -> LayeredNetwork:
+    """Build the aggregated ``s→T→A→G→R→N→t`` network for one window.
+
+    ``flow_dim`` selects the resource dimension used as the scalar flow
+    commodity (CPU by default, matching the paper's evaluation).
+    """
+    topo = state.topology
+    app_ids = sorted({c.app_id for c in containers})
+
+    n_nodes = (
+        2
+        + len(containers)
+        + len(app_ids)
+        + topo.n_clusters
+        + topo.n_racks
+        + topo.n_machines
+    )
+    net = FlowNetwork(n_nodes)
+    next_id = 0
+
+    def take() -> int:
+        nonlocal next_id
+        next_id += 1
+        return next_id - 1
+
+    source = take()
+    task_node = {c.container_id: take() for c in containers}
+    app_node = {a: take() for a in app_ids}
+    cluster_node = {g: take() for g in range(topo.n_clusters)}
+    rack_node = {r: take() for r in range(topo.n_racks)}
+    machine_node = {m: take() for m in range(topo.n_machines)}
+    sink = take()
+
+    out = LayeredNetwork(
+        net=net,
+        topology=topo,
+        source=source,
+        sink=sink,
+        task_node=task_node,
+        app_node=app_node,
+        cluster_node=cluster_node,
+        rack_node=rack_node,
+        machine_node=machine_node,
+    )
+
+    # s -> T_i, capacity = demand along the flow dimension.
+    for c in containers:
+        demand = c.demand_vector(topo.resources)[flow_dim]
+        out.task_edge[c.container_id] = net.add_edge(
+            source, task_node[c.container_id], demand
+        )
+    # T_i -> A_j, infinite.
+    for c in containers:
+        net.add_edge(task_node[c.container_id], app_node[c.app_id], INF_CAPACITY)
+    # A_j -> G_k, infinite (every app may use every sub-cluster).
+    for a in app_ids:
+        for g in range(topo.n_clusters):
+            net.add_edge(app_node[a], cluster_node[g], INF_CAPACITY)
+    # G_k -> R_x, infinite, only within the sub-cluster.
+    for g in range(topo.n_clusters):
+        for r in topo.racks_in_cluster(g):
+            net.add_edge(cluster_node[g], rack_node[int(r)], INF_CAPACITY)
+    # R_x -> N_y, infinite, only within the rack.
+    for r in range(topo.n_racks):
+        for m in topo.machines_in_rack(r):
+            net.add_edge(rack_node[r], machine_node[int(m)], INF_CAPACITY)
+    # N_y -> t, capacity = remaining machine resources along flow_dim.
+    for m in range(topo.n_machines):
+        out.machine_edge[m] = net.add_edge(
+            machine_node[m], sink, float(state.available[m, flow_dim])
+        )
+    return out
+
+
+def build_direct_network(
+    containers: list[Container],
+    state: ClusterState,
+    flow_dim: int = 0,
+) -> LayeredNetwork:
+    """The naive ``O(|T|·|N|)`` bipartite form, for the ablation bench.
+
+    Identical admissible placements, ``|T| · |N|`` interior edges instead
+    of the aggregated layering — the paper's Section III.A example puts
+    this at ~1 billion edges for the full trace versus ~300 thousand.
+    """
+    topo = state.topology
+    n_nodes = 2 + len(containers) + topo.n_machines
+    net = FlowNetwork(n_nodes)
+    source = 0
+    task_node = {
+        c.container_id: 1 + i for i, c in enumerate(containers)
+    }
+    machine_node = {
+        m: 1 + len(containers) + m for m in range(topo.n_machines)
+    }
+    sink = n_nodes - 1
+
+    out = LayeredNetwork(
+        net=net,
+        topology=topo,
+        source=source,
+        sink=sink,
+        task_node=task_node,
+        app_node={},
+        cluster_node={},
+        rack_node={},
+        machine_node=machine_node,
+    )
+    for c in containers:
+        demand = c.demand_vector(topo.resources)[flow_dim]
+        out.task_edge[c.container_id] = net.add_edge(
+            source, task_node[c.container_id], demand
+        )
+        for m in range(topo.n_machines):
+            net.add_edge(task_node[c.container_id], machine_node[m], INF_CAPACITY)
+    for m in range(topo.n_machines):
+        out.machine_edge[m] = net.add_edge(
+            machine_node[m], sink, float(state.available[m, flow_dim])
+        )
+    return out

@@ -1,0 +1,488 @@
+"""AladdinScheduler — the end-to-end scheduler (Algorithm 1).
+
+The scheduler consumes the arrival stream in *windows* of applications
+(containers of one LLA are submitted together).  Within a window it
+processes applications by descending weighted flow — the Equation 3–5
+priority weighting — so a high-priority container can never be displaced
+by a lower-priority one arriving in the same window; priority pressure
+*across* windows is handled by the migration/preemption mechanisms.
+
+Per application, the placement search realises Algorithm 1 with the two
+prunings of Section IV.A:
+
+* **Isomorphism limiting (IL)** — all containers of an application are
+  identical, so machine feasibility (multidimensional capacity dominance
+  plus the Equation 7–8 blacklist) is evaluated once per application,
+  and one exhausted search kills the whole application's window.
+* **Depth limiting (DL)** — containers are impartible, so the search for
+  a container stops at its first admitting machine (a single ``argmin``
+  over the packed-first score instead of a full candidate ordering).
+
+Disabling either flag performs the exact extra work the pruning avoids —
+per-container feasibility recomputation without IL, a full candidate
+ordering per container without DL — while provably producing identical
+placements (the tie-breaking score is total), which is how the Fig. 12
+latency ablation measures their cost honestly.
+
+Machine preference is most-packed-first (minimum remaining CPU, machine
+id as tie-break), which directly serves the paper's resource-efficiency
+objective of minimising the number of used machines.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.base import FailureReason, ScheduleResult, Scheduler
+from repro.cluster.container import Container
+from repro.cluster.state import ClusterState
+from repro.core.config import AladdinConfig
+from repro.core.migration import RescuePlanner
+from repro.core.weights import derive_priority_weights
+
+
+class AladdinScheduler(Scheduler):
+    """The paper's scheduler; see the module docstring for semantics."""
+
+    def __init__(self, config: AladdinConfig | None = None) -> None:
+        self.config = config if config is not None else AladdinConfig()
+        self.name = self.config.variant_name()
+        #: priority-class weights derived for the last scheduled stream
+        self.last_weights: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self, containers: list[Container], state: ClusterState
+    ) -> ScheduleResult:
+        t0 = time.perf_counter()
+        result = ScheduleResult()
+        blocks = _group_blocks(containers)
+        self.last_weights = _derive_weights_for(containers, self.config)
+        # The preemption guard uses the *minimal* compliant weights
+        # (base 1): it admits a preemption only when the weighted-flow
+        # gain holds under every Equation-5-compliant weighting, which
+        # makes rescue outcomes invariant across the paper's
+        # 16/32/64/128 base sweep.
+        guard_weights = _derive_weights_for(containers, self.config, base=1.0)
+        planner = RescuePlanner(state, self.config, guard_weights)
+
+        window = self.config.window_apps
+        for start in range(0, len(blocks), window):
+            window_blocks = blocks[start : start + window]
+            # Weighted-flow order: highest priority class first; stable
+            # within a class, preserving the arrival characteristic.
+            window_blocks = sorted(
+                window_blocks, key=lambda b: -self.last_weights[b[0].priority]
+            )
+            requeue: list[Container] = []
+            for block in window_blocks:
+                self._place_block(block, state, planner, result, requeue)
+            self._drain_requeue(requeue, state, planner, result)
+        if self.config.final_repair and result.undeployed:
+            self._final_repair(containers, state, planner, result)
+        # Rescue migrations move already-placed containers; re-read their
+        # final machine from the authoritative state.
+        for cid in result.placements:
+            result.placements[cid] = state.assignment[cid]
+        result.elapsed_s = time.perf_counter() - t0
+        return result
+
+    # ------------------------------------------------------------------
+    def _place_block(
+        self,
+        block: list[Container],
+        state: ClusterState,
+        planner: RescuePlanner,
+        result: ScheduleResult,
+        requeue: list[Container],
+    ) -> None:
+        """Place one application's containers from the current window."""
+        cfg = self.config
+        app_id = block[0].app_id
+        demand = block[0].demand_vector(state.topology.resources)
+        within = state.constraints.has_within(app_id)
+        n_machines = state.n_machines
+
+        affinity = state.affinity_mask(app_id)
+        candidates: _CandidateWalk | None = None
+        if cfg.enable_il:
+            mask = state.feasible_mask(demand, app_id)
+            result.explored += n_machines
+            candidates = _CandidateWalk(
+                state, demand, mask, within, cfg.enable_dl, affinity=affinity
+            )
+
+        dead_reason: FailureReason | None = None
+        for container in block:
+            if dead_reason is not None:
+                # IL: an identical sibling already failed search + rescue
+                # against unchanged state; skip without re-searching.
+                result.undeployed[container.container_id] = dead_reason
+                continue
+
+            if cfg.enable_il:
+                machine = candidates.next_machine()
+                result.explored += candidates.last_cost
+                # Rescues mutate machines behind the walk's back; skip
+                # entries that went stale (lost capacity or gained a
+                # conflicting resident) instead of trusting them.
+                while machine is not None and not (
+                    state.fits(demand, machine)
+                    and not state.would_violate(container, machine)
+                ):
+                    candidates.invalidate(machine)
+                    machine = candidates.next_machine()
+                    result.explored += candidates.last_cost
+            else:
+                mask = state.feasible_mask(demand, app_id)
+                result.explored += n_machines
+                machine = _pick_machine(state, mask, cfg.enable_dl, affinity=affinity)
+                result.explored += int(mask.sum()) if not cfg.enable_dl else 1
+
+            if machine is None:
+                outcome = planner.rescue(container, demand)
+                result.explored += outcome.explored
+                if outcome.ok and state.would_violate(
+                    container, outcome.machine_id
+                ):
+                    # Defensive: a rescue must never hand back a machine
+                    # the constraints still forbid (e.g. a rack-scope
+                    # conflict the per-machine strategies cannot see).
+                    outcome.machine_id = None
+                    outcome.failure = FailureReason.ANTI_AFFINITY
+                if outcome.ok:
+                    result.migrations += outcome.migrations
+                    result.preemptions += len(outcome.preempted)
+                    requeue.extend(outcome.preempted)
+                    state.deploy(container, outcome.machine_id, demand)
+                    result.placements[container.container_id] = outcome.machine_id
+                    if cfg.enable_il:
+                        # The rescue moved containers around: the cached
+                        # feasibility verdicts are stale, so the
+                        # isomorphism cache is rebuilt from live state
+                        # (the rebuild cost is charged to `explored`).
+                        mask = state.feasible_mask(demand, app_id)
+                        result.explored += n_machines
+                        candidates = _CandidateWalk(
+                            state, demand, mask, within, cfg.enable_dl,
+                            affinity=state.affinity_mask(app_id),
+                        )
+                    continue
+                result.undeployed[container.container_id] = outcome.failure
+                if cfg.enable_il:
+                    dead_reason = outcome.failure
+                continue
+
+            state.deploy(container, machine, demand)
+            result.placements[container.container_id] = machine
+
+        if cfg.gang_scheduling and any(
+            c.container_id in result.undeployed for c in block
+        ):
+            self._roll_back_block(block, state, result)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _roll_back_block(
+        block: list[Container], state: ClusterState, result: ScheduleResult
+    ) -> None:
+        """Gang semantics: a partially placed application is retracted.
+
+        Already-placed siblings are evicted and every container of the
+        block is reported undeployed with the reason that stopped the
+        gang.  Rescue side effects (migrations of *other* containers)
+        stay — those containers remain validly deployed elsewhere.
+        """
+        reason = next(
+            result.undeployed[c.container_id]
+            for c in block
+            if c.container_id in result.undeployed
+        )
+        for container in block:
+            cid = container.container_id
+            if cid in result.placements:
+                state.evict(cid)
+                del result.placements[cid]
+            result.undeployed[cid] = reason
+
+    # ------------------------------------------------------------------
+    def _drain_requeue(
+        self,
+        requeue: list[Container],
+        state: ClusterState,
+        planner: RescuePlanner,
+        result: ScheduleResult,
+    ) -> None:
+        """Re-place preemption victims at the end of the window.
+
+        Victims may rescue via migration but not by preempting again —
+        preemption chains are cut at depth one, which is safe because a
+        victim is strictly lower priority than its preemptor.
+        """
+        for container in requeue:
+            demand = container.demand_vector(state.topology.resources)
+            mask = state.feasible_mask(demand, container.app_id)
+            result.explored += state.n_machines
+            machine = _pick_machine(state, mask, dl=True)
+            if machine is None:
+                outcome = planner.rescue(container, demand, allow_preemption=False)
+                result.explored += outcome.explored
+                if outcome.ok:
+                    result.migrations += outcome.migrations
+                    machine = outcome.machine_id
+            if machine is None:
+                # The victim was deployed once; retract that placement.
+                result.placements.pop(container.container_id, None)
+                result.undeployed[container.container_id] = FailureReason.PREEMPTED
+                continue
+            state.deploy(container, machine, demand)
+            # A victim that lands again was migrated, in effect.
+            prev = result.placements.get(container.container_id)
+            result.placements[container.container_id] = machine
+            if prev is not None and prev != machine:
+                result.migrations += 1
+
+
+    # ------------------------------------------------------------------
+    def _final_repair(
+        self,
+        containers: list[Container],
+        state: ClusterState,
+        planner: RescuePlanner,
+        result: ScheduleResult,
+    ) -> None:
+        """Exhaustively retry every undeployed container (Fig. 7 spirit).
+
+        Highest priority first; each retry gets an unbounded rescue
+        scan.  Preemption stays off — repairing one failure by creating
+        another is not progress.
+        """
+        by_id = {c.container_id: c for c in containers}
+        pending = sorted(
+            result.undeployed,
+            key=lambda cid: -by_id[cid].priority if cid in by_id else 0,
+        )
+        # Under gang semantics the repair must keep applications atomic:
+        # retry whole app groups and retract partial successes.
+        groups: list[list[int]] = []
+        seen_apps: dict[int, int] = {}
+        for cid in pending:
+            container = by_id.get(cid)
+            if container is None:
+                continue
+            if self.config.gang_scheduling:
+                slot = seen_apps.get(container.app_id)
+                if slot is None:
+                    seen_apps[container.app_id] = len(groups)
+                    groups.append([cid])
+                else:
+                    groups[slot].append(cid)
+            else:
+                groups.append([cid])
+
+        for group in groups:
+            placed_now: list[int] = []
+            failed = False
+            for cid in group:
+                container = by_id[cid]
+                demand = container.demand_vector(state.topology.resources)
+                mask = state.feasible_mask(demand, container.app_id)
+                result.explored += state.n_machines
+                machine = _pick_machine(state, mask, dl=True)
+                if machine is None:
+                    outcome = planner.rescue(
+                        container, demand, allow_preemption=False, exhaustive=True
+                    )
+                    result.explored += outcome.explored
+                    if outcome.ok:
+                        result.migrations += outcome.migrations
+                        machine = outcome.machine_id
+                if machine is None:
+                    failed = True
+                    break
+                state.deploy(container, machine, demand)
+                result.placements[cid] = machine
+                del result.undeployed[cid]
+                placed_now.append(cid)
+            if failed and self.config.gang_scheduling:
+                # The container that stopped the gang kept its reason.
+                failing_cid = group[len(placed_now)]
+                reason = result.undeployed[failing_cid]
+                for cid in placed_now:
+                    state.evict(cid)
+                    del result.placements[cid]
+                    result.undeployed[cid] = reason
+
+
+# ----------------------------------------------------------------------
+# candidate walk: the IL(+DL) fast path
+# ----------------------------------------------------------------------
+class _CandidateWalk:
+    """Iterate one application's admitting machines, most-packed first.
+
+    With DL, the candidate order is computed once (one sort per
+    application) and walked with a pointer, charging O(1) per container;
+    machines stay valid until their precomputed fill count is exhausted
+    (non-within apps) or until used once (within-anti-affinity apps).
+    Without DL the walk re-ranks every remaining candidate per container,
+    modelling the redundant path exploration DL eliminates.
+    """
+
+    def __init__(
+        self,
+        state: ClusterState,
+        demand: np.ndarray,
+        mask: np.ndarray,
+        within: bool,
+        dl: bool,
+        affinity: np.ndarray | None = None,
+    ) -> None:
+        self.state = state
+        self.demand = demand
+        self.within = within
+        self.dl = dl
+        self.affinity = affinity
+        self.last_cost = 0
+        ids = np.flatnonzero(mask)
+        order = np.argsort(
+            _scores(state, ids, affinity),
+            kind="stable",
+        )
+        self.ids = ids[order]
+        self.pos = 0
+        if not within:
+            # Fill counts: how many identical containers fit per machine.
+            with np.errstate(divide="ignore"):
+                fills = np.floor(
+                    (state.available[self.ids] / demand).min(axis=1)
+                ).astype(np.int64)
+            self.fill = fills
+        else:
+            self.fill = np.ones(self.ids.size, dtype=np.int64)
+
+    def next_machine(self) -> int | None:
+        if self.dl:
+            while self.pos < self.ids.size and self.fill[self.pos] <= 0:
+                self.pos += 1
+            self.last_cost = 1
+            if self.pos >= self.ids.size:
+                return None
+            self.fill[self.pos] -= 1
+            machine = int(self.ids[self.pos])
+            if self.fill[self.pos] <= 0:
+                self.pos += 1
+            return machine
+        # No DL: re-rank all remaining candidates against live state
+        # (the redundant work depth limiting avoids).  Each candidate is
+        # examined once per container — that scan is the charged cost.
+        remaining = self.ids[self.pos :][self.fill[self.pos :] > 0]
+        self.last_cost = max(1, remaining.size)
+        if remaining.size == 0:
+            return None
+        avail = self.state.available[remaining]
+        feasible = (avail >= self.demand).all(axis=1)
+        remaining = remaining[feasible]
+        if remaining.size == 0:
+            return None
+        score = self.state.available[remaining, 0] * (
+            self.state.n_machines + 1
+        ) + remaining.astype(np.float64)
+        machine = int(remaining[np.argmin(score)])
+        where = np.flatnonzero(self.ids == machine)[0]
+        self.fill[where] -= 1
+        return machine
+
+    def invalidate(self, machine_id: int) -> None:
+        """Drop a machine whose state was changed by a rescue."""
+        where = np.flatnonzero(self.ids == machine_id)
+        if where.size:
+            self.fill[where[0]] = 0
+
+
+def _scores(
+    state: ClusterState, ids: np.ndarray, affinity: np.ndarray | None
+) -> np.ndarray:
+    """The total candidate order: affinity tier, then packing, then id.
+
+    Machines hosting an affine application rank before all others (the
+    soft Borg-style preference); within a tier the order is most-packed
+    first with the machine id as the final tie-break, which keeps the
+    order total and both engines reproducible.
+    """
+    score = state.available[ids, 0] * (state.n_machines + 1) + ids.astype(
+        np.float64
+    )
+    if affinity is not None:
+        tier = 32.0 * (state.n_machines + 1) + state.n_machines + 1
+        score = score + np.where(affinity[ids], 0.0, tier)
+    return score
+
+
+def _pick_machine(
+    state: ClusterState,
+    mask: np.ndarray,
+    dl: bool,
+    affinity: np.ndarray | None = None,
+) -> int | None:
+    """Best machine under the packed-first total order, or ``None``.
+
+    With DL a single ``argmin`` suffices; without DL the full candidate
+    ordering is materialised first (same winner, more work) — the honest
+    cost model for the ablation.
+    """
+    ids = np.flatnonzero(mask)
+    if ids.size == 0:
+        return None
+    score = _scores(state, ids, affinity)
+    if dl:
+        return int(ids[np.argmin(score)])
+    ranked = ids[np.argsort(score, kind="stable")]
+    return int(ranked[0])
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _group_blocks(containers: list[Container]) -> list[list[Container]]:
+    """Group consecutive containers of the same application."""
+    blocks: list[list[Container]] = []
+    for c in containers:
+        if blocks and blocks[-1][0].app_id == c.app_id:
+            blocks[-1].append(c)
+        else:
+            blocks.append([c])
+    return blocks
+
+
+def _derive_weights_for(
+    containers: list[Container],
+    config: AladdinConfig,
+    base: float | None = None,
+) -> dict[int, float]:
+    """Equation 3–5 weights for the priority classes present.
+
+    ``base`` overrides the config's weight-ratio floor (used by the
+    preemption guard, which wants the minimal compliant weights).
+    """
+    # Weight derivation needs per-class demand ranges; containers carry
+    # them directly.
+    from repro.cluster.container import Application
+
+    seen: dict[tuple[int, float], Application] = {}
+    for c in containers:
+        key = (c.priority, c.cpu)
+        if key not in seen:
+            seen[key] = Application(
+                app_id=len(seen),
+                n_containers=1,
+                cpu=c.cpu,
+                mem_gb=c.mem_gb,
+                priority=c.priority,
+            )
+    weights = derive_priority_weights(
+        list(seen.values()),
+        base=config.priority_weight_base if base is None else base,
+    )
+    return weights or {0: 1.0}

@@ -1,0 +1,232 @@
+"""Algorithm 1 executed literally over the layered flow network.
+
+:class:`FlowPathSearch` is the *reference* engine: it enumerates
+augmenting paths ``s → T_i → A_j → G_k → R_x → N_y → t`` through a real
+:class:`~repro.flownet.graph.FlowNetwork`, admitting a path only when the
+machine's multidimensional remaining capacity dominates the container's
+demand (Equation 6 via :class:`~repro.flownet.capacity.VectorCapacity`)
+and the machine's blacklist admits the application (Equations 7–8 via
+:class:`~repro.core.blacklist.BlacklistFunction`).  Flow is pushed along
+every accepted path, so the resulting assignment *is* a feasible flow —
+checked by :func:`repro.flownet.validation.validate_flow`.
+
+The engine applies the same isomorphism-limiting and depth-limiting
+prunings and the same packed-first machine preference as the vectorised
+:class:`~repro.core.scheduler.AladdinScheduler`, and the test-suite
+asserts both engines produce identical placements on randomized
+workloads.  It is quadratic-ish and meant for small instances; large
+experiments use the vectorised engine.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.base import FailureReason, ScheduleResult, Scheduler
+from repro.cluster.container import Container
+from repro.cluster.state import ClusterState
+from repro.core.blacklist import BlacklistFunction
+from repro.core.config import AladdinConfig
+from repro.core.migration import RescuePlanner
+from repro.core.network_builder import LayeredNetwork, build_layered_network
+from repro.core.scheduler import _derive_weights_for, _group_blocks
+from repro.flownet.capacity import VectorCapacity
+from repro.flownet.validation import validate_flow
+
+
+class FlowPathSearch(Scheduler):
+    """Reference flow-network engine for Aladdin (small instances)."""
+
+    def __init__(self, config: AladdinConfig | None = None) -> None:
+        self.config = config if config is not None else AladdinConfig()
+        self.name = self.config.variant_name() + "[flow]"
+        self.last_network: LayeredNetwork | None = None
+        self.last_weights: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self, containers: list[Container], state: ClusterState
+    ) -> ScheduleResult:
+        t0 = time.perf_counter()
+        result = ScheduleResult()
+        self.last_weights = _derive_weights_for(containers, self.config)
+        guard_weights = _derive_weights_for(containers, self.config, base=1.0)
+        planner = RescuePlanner(state, self.config, guard_weights)
+        blocks = _group_blocks(containers)
+        window = self.config.window_apps
+        for start in range(0, len(blocks), window):
+            window_blocks = sorted(
+                blocks[start : start + window],
+                key=lambda b: -self.last_weights[b[0].priority],
+            )
+            self._schedule_window(window_blocks, state, planner, result)
+        # Rescue migrations move already-placed containers; re-read their
+        # final machine from the authoritative state.
+        for cid in result.placements:
+            result.placements[cid] = state.assignment[cid]
+        result.elapsed_s = time.perf_counter() - t0
+        return result
+
+    # ------------------------------------------------------------------
+    def _schedule_window(
+        self,
+        window_blocks: list[list[Container]],
+        state: ClusterState,
+        planner: RescuePlanner,
+        result: ScheduleResult,
+    ) -> None:
+        flat = [c for block in window_blocks for c in block]
+        network = build_layered_network(flat, state)
+        self.last_network = network
+        blacklist = BlacklistFunction(state)
+        requeue: list[Container] = []
+
+        # Per-application pruning state for IL.
+        dead_apps: dict[int, FailureReason] = {}
+
+        for block in window_blocks:
+            app_id = block[0].app_id
+            demand = block[0].demand_vector(state.topology.resources)
+            for container in block:
+                if app_id in dead_apps:
+                    result.undeployed[container.container_id] = dead_apps[app_id]
+                    continue
+                machine = self._find_path(
+                    container, demand, state, network, blacklist, result
+                )
+                if machine is None:
+                    outcome = planner.rescue(container, demand)
+                    result.explored += outcome.explored
+                    if outcome.ok and state.would_violate(
+                        container, outcome.machine_id
+                    ):
+                        # Defensive, mirrors the vectorised engine: a
+                        # rescue target the constraints still forbid is
+                        # a failure, not a placement.
+                        outcome.machine_id = None
+                        outcome.failure = FailureReason.ANTI_AFFINITY
+                    if outcome.ok:
+                        result.migrations += outcome.migrations
+                        result.preemptions += len(outcome.preempted)
+                        requeue.extend(outcome.preempted)
+                        machine = outcome.machine_id
+                        # Rescue mutated machine loads outside the
+                        # network; rebuild so residuals stay truthful.
+                        state.deploy(container, machine, demand)
+                        result.placements[container.container_id] = machine
+                        flat = [c for c in flat if c.container_id not in
+                                result.placements and c.container_id not in
+                                result.undeployed]
+                        network = build_layered_network(flat, state)
+                        self.last_network = network
+                        continue
+                    result.undeployed[container.container_id] = outcome.failure
+                    if self.config.enable_il:
+                        dead_apps[app_id] = outcome.failure
+                    continue
+                self._augment(container, demand, machine, network)
+                state.deploy(container, machine, demand)
+                result.placements[container.container_id] = machine
+
+        for container in requeue:
+            demand = container.demand_vector(state.topology.resources)
+            mask = state.feasible_mask(demand, container.app_id)
+            ids = np.flatnonzero(mask)
+            result.explored += state.n_machines
+            if ids.size == 0:
+                result.placements.pop(container.container_id, None)
+                result.undeployed[container.container_id] = FailureReason.PREEMPTED
+                continue
+            machine = int(ids[np.argmin(state.available[ids, 0])])
+            state.deploy(container, machine, demand)
+            prev = result.placements.get(container.container_id)
+            result.placements[container.container_id] = machine
+            if prev is not None and prev != machine:
+                result.migrations += 1
+
+    # ------------------------------------------------------------------
+    def _find_path(
+        self,
+        container: Container,
+        demand: np.ndarray,
+        state: ClusterState,
+        network: LayeredNetwork,
+        blacklist: BlacklistFunction,
+        result: ScheduleResult,
+    ) -> int | None:
+        """Explore machine paths packed-first; DL stops at the first hit.
+
+        The exploration order is the same total order as the vectorised
+        engine's (`_scores`): affinity tier, packing level, machine id.
+        """
+        from repro.core.scheduler import _scores
+
+        order = np.argsort(
+            _scores(
+                state,
+                np.arange(state.n_machines),
+                state.affinity_mask(container.app_id),
+            ),
+            kind="stable",
+        )
+        chosen: int | None = None
+        for machine_id in order:
+            machine_id = int(machine_id)
+            result.explored += 1
+            capacity = VectorCapacity(
+                state.available[machine_id],
+                predicate=lambda _d, ctx: blacklist.admits(
+                    container.app_id, ctx
+                ),
+            )
+            if capacity.admits(demand, machine_id):
+                if chosen is None:
+                    chosen = machine_id
+                if self.config.enable_dl:
+                    break
+        return chosen
+
+    def _augment(
+        self,
+        container: Container,
+        demand: np.ndarray,
+        machine_id: int,
+        network: LayeredNetwork,
+    ) -> None:
+        """Push the container's flow along its accepted path."""
+        net = network.net
+        flow = demand[0]
+        rack = int(network.topology.rack_of[machine_id])
+        cluster = int(network.topology.cluster_of[machine_id])
+        t_node = network.task_node[container.container_id]
+        a_node = network.app_node[container.app_id]
+        g_node = network.cluster_node[cluster]
+        r_node = network.rack_node[rack]
+        n_node = network.machine_node[machine_id]
+        net.push(network.task_edge[container.container_id], flow)
+        self._push_between(net, t_node, a_node, flow)
+        self._push_between(net, a_node, g_node, flow)
+        self._push_between(net, g_node, r_node, flow)
+        self._push_between(net, r_node, n_node, flow)
+        net.push(network.machine_edge[machine_id], flow)
+
+    @staticmethod
+    def _push_between(net, tail: int, head: int, flow: float) -> None:
+        """Push along the unique forward edge tail → head."""
+        for i in net.adj[tail]:
+            if i % 2 == 0 and net.edges[i].head == head:
+                net.push(i, flow)
+                return
+        raise ValueError(f"no forward edge {tail} -> {head}")
+
+    def validate(self) -> None:
+        """Assert the accumulated flow on the last window is feasible."""
+        if self.last_network is None:
+            raise RuntimeError("no window has been scheduled yet")
+        validate_flow(
+            self.last_network.net,
+            self.last_network.source,
+            self.last_network.sink,
+        )

@@ -1,0 +1,45 @@
+"""Flow-network substrate.
+
+Generic directed flow networks and the algorithms the reproduction
+builds on:
+
+* :class:`~repro.flownet.graph.FlowNetwork` — residual-graph
+  representation with integer/float capacities.
+* :func:`~repro.flownet.maxflow.edmonds_karp` /
+  :func:`~repro.flownet.maxflow.dinic` — classic maximum-flow solvers
+  (reference implementations used for validation).
+* :func:`~repro.flownet.spfa.spfa` — the queue-based Bellman–Ford
+  shortest-path routine the paper cites (SPFA, [21]).
+* :func:`~repro.flownet.mincost.min_cost_max_flow` — successive
+  shortest path min-cost flow; the Quincy/Firmament cost-model baseline
+  solves this.
+* :class:`~repro.flownet.capacity.VectorCapacity` — multidimensional
+  N-tuple capacities with the element-wise dominance test of Equation 6.
+* :mod:`~repro.flownet.validation` — capacity-constraint and
+  flow-conservation checks (Equations 1–2).
+"""
+
+from repro.flownet.graph import Edge, FlowNetwork
+from repro.flownet.capacity import VectorCapacity
+from repro.flownet.maxflow import edmonds_karp, dinic
+from repro.flownet.spfa import spfa
+from repro.flownet.mincost import min_cost_max_flow, MinCostFlowResult
+from repro.flownet.validation import (
+    check_capacity_constraints,
+    check_flow_conservation,
+    validate_flow,
+)
+
+__all__ = [
+    "Edge",
+    "FlowNetwork",
+    "VectorCapacity",
+    "edmonds_karp",
+    "dinic",
+    "spfa",
+    "min_cost_max_flow",
+    "MinCostFlowResult",
+    "check_capacity_constraints",
+    "check_flow_conservation",
+    "validate_flow",
+]

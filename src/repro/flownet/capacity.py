@@ -1,0 +1,85 @@
+"""Multidimensional capacities (the paper's N-tuple capacity function).
+
+Section III.C: a capacity ``c(i, j)`` can be denoted as an N-tuple
+``(x1, x2, ..., xn)`` where every element is a linear function; a flow is
+admissible when the container's tuple is dominated by the machine's tuple
+(Equation 6).  Anti-affinity needs more than element-wise dominance, so
+Aladdin extends the comparison with a *nonlinear set-based* membership
+test — realised here as an arbitrary predicate hook and concretely by
+:class:`repro.core.blacklist.BlacklistFunction`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+class VectorCapacity:
+    """An N-tuple capacity with optional nonlinear admission predicate.
+
+    Parameters
+    ----------
+    values:
+        The linear part of the capacity — one value per resource
+        dimension.
+    predicate:
+        Optional nonlinear part: called with the *demand* vector and an
+        opaque context object; must return ``True`` for the flow to be
+        admitted even when the linear test passes.  This is the paper's
+        "the symbol ≤ is extended to represent ``c(s,Ti) ∈ c(Nj,t)``".
+    """
+
+    __slots__ = ("values", "predicate")
+
+    def __init__(
+        self,
+        values: np.ndarray | list[float] | tuple[float, ...],
+        predicate: Callable[[np.ndarray, object], bool] | None = None,
+    ) -> None:
+        self.values = np.asarray(values, dtype=np.float64)
+        if self.values.ndim != 1 or self.values.size == 0:
+            raise ValueError("capacity must be a non-empty 1-D tuple of values")
+        if (self.values < 0).any():
+            raise ValueError(f"capacity values must be non-negative: {self.values}")
+        self.predicate = predicate
+
+    @property
+    def n_dims(self) -> int:
+        return int(self.values.size)
+
+    def admits(self, demand: np.ndarray, context: object = None) -> bool:
+        """Equation 6 extended with the nonlinear membership test.
+
+        ``demand ≤ capacity`` element-wise, *and* the predicate (if any)
+        accepts the pairing.
+        """
+        demand = np.asarray(demand, dtype=np.float64)
+        if demand.shape != self.values.shape:
+            raise ValueError(
+                f"demand dims {demand.shape} do not match capacity dims "
+                f"{self.values.shape}"
+            )
+        if not (demand <= self.values + 1e-12).all():
+            return False
+        if self.predicate is not None and not self.predicate(demand, context):
+            return False
+        return True
+
+    def consume(self, demand: np.ndarray) -> None:
+        """Subtract an admitted demand from the linear capacity."""
+        demand = np.asarray(demand, dtype=np.float64)
+        if (demand > self.values + 1e-9).any():
+            raise ValueError(
+                f"demand {demand} exceeds remaining capacity {self.values}"
+            )
+        self.values = self.values - demand
+
+    def release(self, demand: np.ndarray) -> None:
+        """Return a previously consumed demand to the linear capacity."""
+        self.values = self.values + np.asarray(demand, dtype=np.float64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        nonlinear = ", nonlinear" if self.predicate is not None else ""
+        return f"VectorCapacity({self.values.tolist()}{nonlinear})"

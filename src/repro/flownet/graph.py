@@ -1,0 +1,119 @@
+"""Residual flow-network representation.
+
+A :class:`FlowNetwork` stores a directed graph in the standard
+"paired-edge" residual form: every edge is stored together with its
+reverse edge at index ``e ^ 1``, so augmenting along an edge and pushing
+back along its reverse are both O(1).  Node ids are dense integers;
+callers that want named vertices keep their own mapping (see
+:mod:`repro.core.network_builder`).
+
+Capacities and costs are floats; the scheduling networks built by the
+reproduction only ever use integral capacities, so exactness is not a
+concern at the scales involved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Edge:
+    """One directed edge of the residual graph.
+
+    ``flow`` may exceed 0 only up to ``capacity``; the reverse edge's
+    residual capacity is exactly this edge's flow.
+    """
+
+    head: int
+    capacity: float
+    cost: float = 0.0
+    flow: float = 0.0
+
+    @property
+    def residual(self) -> float:
+        """Remaining capacity on this edge."""
+        return self.capacity - self.flow
+
+
+class FlowNetwork:
+    """Directed flow network with paired residual edges.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of vertices; node ids are ``0 .. n_nodes-1``.
+    """
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes <= 0:
+            raise ValueError(f"n_nodes must be positive, got {n_nodes}")
+        self.n_nodes = n_nodes
+        self.edges: list[Edge] = []
+        #: adjacency: node -> list of edge indices (forward and reverse)
+        self.adj: list[list[int]] = [[] for _ in range(n_nodes)]
+
+    def add_node(self) -> int:
+        """Append a new vertex, returning its id."""
+        self.adj.append([])
+        self.n_nodes += 1
+        return self.n_nodes - 1
+
+    def add_edge(self, tail: int, head: int, capacity: float, cost: float = 0.0) -> int:
+        """Add edge ``tail → head``; returns the forward edge index.
+
+        The paired reverse edge (capacity 0, cost ``-cost``) is created
+        automatically at the returned index ``+ 1``.
+        """
+        self._check_node(tail)
+        self._check_node(head)
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        idx = len(self.edges)
+        self.edges.append(Edge(head=head, capacity=capacity, cost=cost))
+        self.edges.append(Edge(head=tail, capacity=0.0, cost=-cost))
+        self.adj[tail].append(idx)
+        self.adj[head].append(idx + 1)
+        return idx
+
+    def push(self, edge_index: int, amount: float) -> None:
+        """Push ``amount`` units of flow along ``edge_index``.
+
+        Raises ``ValueError`` when the push exceeds residual capacity
+        (with a small float tolerance).
+        """
+        edge = self.edges[edge_index]
+        if amount > edge.residual + 1e-9:
+            raise ValueError(
+                f"push of {amount} exceeds residual {edge.residual} on edge "
+                f"{edge_index}"
+            )
+        edge.flow += amount
+        self.edges[edge_index ^ 1].flow -= amount
+
+    def flow_on(self, edge_index: int) -> float:
+        """Net flow on the forward edge at ``edge_index``."""
+        return self.edges[edge_index].flow
+
+    def reset_flow(self) -> None:
+        """Zero all flow, keeping the graph structure."""
+        for edge in self.edges:
+            edge.flow = 0.0
+
+    def out_edges(self, node: int) -> list[tuple[int, Edge]]:
+        """(edge index, edge) pairs leaving ``node`` in the residual graph."""
+        return [(i, self.edges[i]) for i in self.adj[node]]
+
+    def n_forward_edges(self) -> int:
+        """Number of caller-added (forward) edges."""
+        return len(self.edges) // 2
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise IndexError(f"node {node} out of range [0, {self.n_nodes})")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlowNetwork(n_nodes={self.n_nodes}, "
+            f"n_edges={self.n_forward_edges()})"
+        )

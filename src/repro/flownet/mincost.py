@@ -1,0 +1,61 @@
+"""Min-cost max-flow by successive shortest paths (SPFA-based).
+
+The Quincy scheduling model — Firmament's QUINCY policy — maps container
+placement to a min-cost flow problem.  This solver is the generic engine
+behind :mod:`repro.baselines.firmament` and is also used by tests to
+cross-check the Aladdin search on small instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flownet.graph import FlowNetwork
+from repro.flownet.spfa import extract_path, spfa
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class MinCostFlowResult:
+    """Outcome of a min-cost max-flow computation."""
+
+    flow: float
+    cost: float
+    augmentations: int
+
+
+def min_cost_max_flow(
+    net: FlowNetwork,
+    source: int,
+    sink: int,
+    max_flow: float = float("inf"),
+) -> MinCostFlowResult:
+    """Push up to ``max_flow`` units of minimum-cost flow source → sink.
+
+    Each iteration runs SPFA on the residual graph and augments along
+    the cheapest path by its bottleneck.  Mutates ``net`` in place.
+    Terminates when the sink becomes unreachable or ``max_flow`` is met.
+    """
+    if source == sink:
+        raise ValueError("source and sink must differ")
+    total_flow = 0.0
+    total_cost = 0.0
+    augmentations = 0
+    while total_flow < max_flow - _EPS:
+        dist, parent_edge = spfa(net, source)
+        if dist[sink] == float("inf"):
+            break
+        path = extract_path(net, parent_edge, source, sink)
+        bottleneck = min(net.edges[e].residual for e in path)
+        bottleneck = min(bottleneck, max_flow - total_flow)
+        if bottleneck <= _EPS:
+            break
+        for e in path:
+            net.push(e, bottleneck)
+        total_flow += bottleneck
+        total_cost += bottleneck * dist[sink]
+        augmentations += 1
+    return MinCostFlowResult(
+        flow=total_flow, cost=total_cost, augmentations=augmentations
+    )

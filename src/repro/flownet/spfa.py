@@ -1,0 +1,99 @@
+"""SPFA — the queue-based Bellman–Ford shortest path.
+
+The paper's Algorithm 1 is "similar to typical flow-based algorithms like
+SPFA or Bellman-Ford" (Section IV.D).  This module provides the generic
+routine over a residual :class:`~repro.flownet.graph.FlowNetwork`; the
+min-cost flow solver and, indirectly, the Quincy baseline are built on it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.flownet.graph import FlowNetwork
+
+_EPS = 1e-9
+
+
+def spfa(
+    net: FlowNetwork,
+    source: int,
+    skip_saturated: bool = True,
+) -> tuple[list[float], list[int]]:
+    """Shortest-path distances from ``source`` by edge cost.
+
+    Parameters
+    ----------
+    net:
+        The network; negative costs are allowed (reverse residual edges
+        carry negated costs) but negative *cycles* reachable from the
+        source raise ``ValueError``.
+    source:
+        Start vertex.
+    skip_saturated:
+        When true (the default), edges without residual capacity are
+        ignored — the residual-graph behaviour min-cost flow needs.
+
+    Returns
+    -------
+    (dist, parent_edge):
+        ``dist[v]`` is the cheapest cost from source to ``v`` (``inf``
+        when unreachable); ``parent_edge[v]`` is the edge index entering
+        ``v`` on that path (``-1`` for the source / unreachable nodes).
+    """
+    if not 0 <= source < net.n_nodes:
+        raise IndexError(f"source {source} out of range [0, {net.n_nodes})")
+    n = net.n_nodes
+    dist = [float("inf")] * n
+    parent_edge = [-1] * n
+    in_queue = [False] * n
+    relax_count = [0] * n
+    dist[source] = 0.0
+    queue: deque[int] = deque([source])
+    in_queue[source] = True
+    while queue:
+        u = queue.popleft()
+        in_queue[u] = False
+        du = dist[u]
+        for i in net.adj[u]:
+            edge = net.edges[i]
+            if skip_saturated and edge.residual <= _EPS:
+                continue
+            v = edge.head
+            nd = du + edge.cost
+            if nd < dist[v] - _EPS:
+                dist[v] = nd
+                parent_edge[v] = i
+                if not in_queue[v]:
+                    relax_count[v] += 1
+                    if relax_count[v] > n:
+                        raise ValueError(
+                            "negative-cost cycle detected reachable from "
+                            f"source {source}"
+                        )
+                    # SLF heuristic: small labels jump the queue.
+                    if queue and nd < dist[queue[0]]:
+                        queue.appendleft(v)
+                    else:
+                        queue.append(v)
+                    in_queue[v] = True
+    return dist, parent_edge
+
+
+def extract_path(
+    net: FlowNetwork, parent_edge: list[int], source: int, target: int
+) -> list[int]:
+    """Reconstruct the edge-index path source → target from SPFA output.
+
+    Raises ``ValueError`` when ``target`` was unreachable.
+    """
+    if parent_edge[target] == -1 and target != source:
+        raise ValueError(f"target {target} unreachable from source {source}")
+    path: list[int] = []
+    v = target
+    while v != source:
+        e = parent_edge[v]
+        path.append(e)
+        v = net.edges[e ^ 1].head
+    path.reverse()
+    return path

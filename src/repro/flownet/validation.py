@@ -1,0 +1,57 @@
+"""Flow validity checks (the paper's Equations 1 and 2).
+
+Used by tests and by debug assertions: a function ``f`` is a flow when it
+respects every edge capacity (Equation 1) and conserves flow at every
+vertex other than the source and sink (Equation 2).
+"""
+
+from __future__ import annotations
+
+from repro.flownet.graph import FlowNetwork
+
+_EPS = 1e-6
+
+
+def check_capacity_constraints(net: FlowNetwork) -> list[str]:
+    """Return a violation message per edge breaking ``0 ≤ f ≤ c``.
+
+    Only forward (caller-added) edges are inspected; their paired
+    reverse edges hold the bookkeeping negative flow by construction.
+    """
+    problems: list[str] = []
+    for i in range(0, len(net.edges), 2):
+        edge = net.edges[i]
+        if edge.flow < -_EPS:
+            problems.append(f"edge {i}: negative flow {edge.flow}")
+        if edge.flow > edge.capacity + _EPS:
+            problems.append(
+                f"edge {i}: flow {edge.flow} exceeds capacity {edge.capacity}"
+            )
+    return problems
+
+
+def check_flow_conservation(
+    net: FlowNetwork, source: int, sink: int
+) -> list[str]:
+    """Return a violation message per internal vertex with net imbalance."""
+    balance = [0.0] * net.n_nodes
+    for i in range(0, len(net.edges), 2):
+        edge = net.edges[i]
+        tail = net.edges[i ^ 1].head
+        balance[tail] -= edge.flow
+        balance[edge.head] += edge.flow
+    problems: list[str] = []
+    for v in range(net.n_nodes):
+        if v in (source, sink):
+            continue
+        if abs(balance[v]) > _EPS:
+            problems.append(f"vertex {v}: net imbalance {balance[v]}")
+    return problems
+
+
+def validate_flow(net: FlowNetwork, source: int, sink: int) -> None:
+    """Raise ``AssertionError`` with all problems if the flow is invalid."""
+    problems = check_capacity_constraints(net)
+    problems += check_flow_conservation(net, source, sink)
+    if problems:
+        raise AssertionError("invalid flow:\n" + "\n".join(problems))

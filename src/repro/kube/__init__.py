@@ -1,0 +1,35 @@
+"""Kubernetes co-design layer (Section IV.C, Fig. 6).
+
+The paper integrates Aladdin with Kubernetes 1.11 through three
+components; this package reproduces that architecture against a
+simulated API server:
+
+* **EHC** (:mod:`~repro.kube.ehc`) — the events handling center:
+  receives life-cycle and resource change events, pre-processes them
+  and forwards them to the model adaptor.
+* **MA** (:mod:`~repro.kube.adaptor`) — the model adaptor: decouples
+  Kubernetes objects (Pods, Nodes) from the scheduler's model
+  (containers, machines) by translating between the two.
+* **RE** (:mod:`~repro.kube.resolver`) — the resolvers: map the
+  scheduler's placement decisions back to API bindings.
+
+:mod:`~repro.kube.api` provides the simulated Kubernetes object model
+(Pod / Node / Binding) and a watchable API-server stand-in.
+"""
+
+from repro.kube.api import Binding, KubeApiServer, Node, Pod, PodPhase
+from repro.kube.ehc import EventsHandlingCenter
+from repro.kube.adaptor import ModelAdaptor
+from repro.kube.resolver import BindingResolver, SchedulingLoop
+
+__all__ = [
+    "Binding",
+    "KubeApiServer",
+    "Node",
+    "Pod",
+    "PodPhase",
+    "EventsHandlingCenter",
+    "ModelAdaptor",
+    "BindingResolver",
+    "SchedulingLoop",
+]

@@ -1,0 +1,127 @@
+"""MA — the model adaptor (Section IV.C).
+
+"MA decouples Kubernetes objects from their scheduling implementation
+by delegating the watching and binding APIs."
+
+The adaptor owns the translation between the API-server world (Pods,
+Nodes, app labels) and the scheduler world (Containers, dense app ids,
+a :class:`~repro.cluster.state.ClusterState`).  It keeps the mapping
+stable across scheduling rounds so migrations and evictions decided on
+the model side can always be resolved back to concrete pods.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.constraints import AntiAffinityRule, ConstraintSet
+from repro.cluster.container import Container
+from repro.cluster.machine import MachineSpec
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import build_cluster
+from repro.kube.api import Node, Pod
+
+
+class ModelAdaptor:
+    """Translates Pods/Nodes into the scheduler's container/cluster model."""
+
+    def __init__(self) -> None:
+        self._app_ids: dict[str, int] = {}
+        self._container_ids: dict[str, int] = {}  # pod name -> container id
+        self._pod_names: dict[int, str] = {}  # container id -> pod name
+        self._nodes: list[Node] = []
+        self._node_index: dict[str, int] = {}
+        self._constraints = ConstraintSet()
+        self._state: ClusterState | None = None
+
+    # ------------------------------------------------------------------
+    # nodes
+    # ------------------------------------------------------------------
+    def add_nodes(self, nodes: list[Node]) -> None:
+        """Register nodes; must happen before the first state build."""
+        if self._state is not None and nodes:
+            raise RuntimeError(
+                "cluster state already built; node hot-add is not modelled"
+            )
+        for node in nodes:
+            if node.name in self._node_index:
+                raise ValueError(f"node {node.name} already registered")
+            self._node_index[node.name] = len(self._nodes)
+            self._nodes.append(node)
+
+    def state(self) -> ClusterState:
+        """The scheduler-side cluster state (built on first use).
+
+        Heterogeneous node shapes — the paper's stated future work
+        (Section VII) — are supported: mixed capacities become a
+        heterogeneous topology.
+        """
+        if self._state is None:
+            if not self._nodes:
+                raise RuntimeError("no nodes registered")
+            shapes = {(n.cpu, n.mem_gb) for n in self._nodes}
+            if len(shapes) == 1:
+                first = self._nodes[0]
+                topo = build_cluster(
+                    len(self._nodes),
+                    machine=MachineSpec(cpu=first.cpu, mem_gb=first.mem_gb),
+                )
+            else:
+                from repro.cluster.topology import ClusterTopology
+
+                import numpy as np
+
+                capacity = np.array(
+                    [[n.cpu, n.mem_gb] for n in self._nodes], dtype=np.float64
+                )
+                from repro.cluster.topology import ClusterSpec
+
+                spec = ClusterSpec(
+                    n_machines=len(self._nodes),
+                    machine=MachineSpec(
+                        cpu=float(capacity[:, 0].max()),
+                        mem_gb=float(capacity[:, 1].max()),
+                    ),
+                )
+                topo = ClusterTopology(spec, capacity=capacity)
+            self._state = ClusterState(topo, self._constraints)
+        return self._state
+
+    def node_name(self, machine_id: int) -> str:
+        return self._nodes[machine_id].name
+
+    # ------------------------------------------------------------------
+    # pods
+    # ------------------------------------------------------------------
+    def to_containers(self, pods: list[Pod]) -> list[Container]:
+        """Translate pods to containers, registering constraints."""
+        out: list[Container] = []
+        for pod in pods:
+            app_id = self._app_id(pod.app)
+            for other_label in pod.anti_affinity:
+                other_id = self._app_id(other_label)
+                self._constraints.add_rule(AntiAffinityRule(app_id, other_id))
+            cid = self._container_ids.get(pod.name)
+            if cid is None:
+                cid = len(self._container_ids)
+                self._container_ids[pod.name] = cid
+                self._pod_names[cid] = pod.name
+            out.append(
+                Container(
+                    container_id=cid,
+                    app_id=app_id,
+                    instance=cid,
+                    cpu=pod.cpu,
+                    mem_gb=pod.mem_gb,
+                    priority=pod.priority,
+                )
+            )
+        return out
+
+    def pod_name(self, container_id: int) -> str:
+        return self._pod_names[container_id]
+
+    def _app_id(self, label: str) -> int:
+        app_id = self._app_ids.get(label)
+        if app_id is None:
+            app_id = len(self._app_ids)
+            self._app_ids[label] = app_id
+        return app_id

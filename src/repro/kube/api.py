@@ -1,0 +1,136 @@
+"""Simulated Kubernetes object model and API server.
+
+The paper's evaluation stubs out RPCs and task execution (Section V.A);
+this module is that stub made explicit: Pods, Nodes and Bindings with a
+watchable in-memory API server, enough surface for the EHC/MA/RE
+pipeline to operate exactly as Fig. 6 describes.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class PodPhase(enum.Enum):
+    """Subset of the Kubernetes pod life-cycle relevant to scheduling."""
+
+    PENDING = "Pending"
+    SCHEDULED = "Scheduled"
+    RUNNING = "Running"
+    FAILED = "Failed"
+
+
+@dataclass
+class Pod:
+    """A Kubernetes pod requesting one container's worth of resources.
+
+    ``app`` carries the LLA identity; ``anti_affinity`` lists app labels
+    this pod must not share a node with (within-app anti-affinity is
+    expressed by listing the pod's own app label); ``priority`` follows
+    the PriorityClass model.
+    """
+
+    name: str
+    app: str
+    cpu: float
+    mem_gb: float
+    priority: int = 0
+    anti_affinity: tuple[str, ...] = ()
+    phase: PodPhase = PodPhase.PENDING
+    node_name: str | None = None
+
+
+@dataclass
+class Node:
+    """A Kubernetes node with allocatable resources."""
+
+    name: str
+    cpu: float
+    mem_gb: float
+    labels: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Binding:
+    """The scheduling decision object (pod → node)."""
+
+    pod_name: str
+    node_name: str
+
+
+@dataclass(frozen=True)
+class WatchEvent:
+    """One API-server watch event."""
+
+    kind: str  # "ADDED" | "MODIFIED" | "DELETED"
+    obj: object
+
+
+class KubeApiServer:
+    """In-memory API server with list/watch and binding semantics."""
+
+    def __init__(self) -> None:
+        self._pods: dict[str, Pod] = {}
+        self._nodes: dict[str, Node] = {}
+        self._watchers: list[Callable[[WatchEvent], None]] = []
+        self._revision = itertools.count(1)
+        self.bindings: list[Binding] = []
+
+    # -- registration ---------------------------------------------------
+    def add_node(self, node: Node) -> None:
+        if node.name in self._nodes:
+            raise ValueError(f"node {node.name} already exists")
+        self._nodes[node.name] = node
+        self._notify(WatchEvent("ADDED", node))
+
+    def create_pod(self, pod: Pod) -> None:
+        if pod.name in self._pods:
+            raise ValueError(f"pod {pod.name} already exists")
+        self._pods[pod.name] = pod
+        self._notify(WatchEvent("ADDED", pod))
+
+    def delete_pod(self, pod_name: str) -> Pod:
+        pod = self._pods.pop(pod_name)
+        self._notify(WatchEvent("DELETED", pod))
+        return pod
+
+    # -- scheduling -----------------------------------------------------
+    def bind(self, binding: Binding) -> None:
+        """Apply a scheduler decision: pod moves to its node."""
+        pod = self._pods[binding.pod_name]
+        if binding.node_name not in self._nodes:
+            raise KeyError(f"unknown node {binding.node_name}")
+        if pod.phase not in (PodPhase.PENDING,):
+            raise ValueError(
+                f"pod {pod.name} is {pod.phase.value}, cannot bind"
+            )
+        pod.node_name = binding.node_name
+        pod.phase = PodPhase.SCHEDULED
+        self.bindings.append(binding)
+        self._notify(WatchEvent("MODIFIED", pod))
+
+    def fail_pod(self, pod_name: str) -> None:
+        pod = self._pods[pod_name]
+        pod.phase = PodPhase.FAILED
+        self._notify(WatchEvent("MODIFIED", pod))
+
+    # -- list/watch -------------------------------------------------------
+    def pods(self, phase: PodPhase | None = None) -> list[Pod]:
+        out = list(self._pods.values())
+        if phase is not None:
+            out = [p for p in out if p.phase is phase]
+        return out
+
+    def nodes(self) -> list[Node]:
+        return list(self._nodes.values())
+
+    def watch(self, callback: Callable[[WatchEvent], None]) -> None:
+        """Register a watcher; it receives every subsequent event."""
+        self._watchers.append(callback)
+
+    def _notify(self, event: WatchEvent) -> None:
+        for cb in self._watchers:
+            cb(event)

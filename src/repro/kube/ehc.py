@@ -1,0 +1,67 @@
+"""EHC — the events handling center (Section IV.C).
+
+"EHC receives all kinds of changes in the LLAs' life-cycles and
+resources.  Then, it forwards pre-processed events to MA."
+
+The EHC subscribes to the API server's watch stream, coalesces the raw
+events into scheduler-relevant batches (pending pods grouped by
+application, node inventory changes) and hands them to the model
+adaptor on :meth:`drain`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.kube.api import KubeApiServer, Node, Pod, PodPhase, WatchEvent
+
+
+class EventsHandlingCenter:
+    """Watches the API server and batches scheduler-relevant changes."""
+
+    def __init__(self, api: KubeApiServer) -> None:
+        self.api = api
+        self._pending: "OrderedDict[str, Pod]" = OrderedDict()
+        self._new_nodes: list[Node] = []
+        api.watch(self._on_event)
+        # Pick up anything that existed before we started watching.
+        for node in api.nodes():
+            self._new_nodes.append(node)
+        for pod in api.pods(PodPhase.PENDING):
+            self._pending[pod.name] = pod
+
+    # ------------------------------------------------------------------
+    def _on_event(self, event: WatchEvent) -> None:
+        obj = event.obj
+        if isinstance(obj, Node):
+            if event.kind == "ADDED":
+                self._new_nodes.append(obj)
+            return
+        if not isinstance(obj, Pod):
+            return
+        if event.kind == "ADDED" and obj.phase is PodPhase.PENDING:
+            self._pending[obj.name] = obj
+        elif event.kind in ("MODIFIED", "DELETED"):
+            if obj.phase is not PodPhase.PENDING or event.kind == "DELETED":
+                self._pending.pop(obj.name, None)
+
+    # ------------------------------------------------------------------
+    def drain(self) -> tuple[list[Pod], list[Node]]:
+        """Return and clear the pre-processed batches.
+
+        Pods come out grouped by application (containers of one LLA are
+        submitted together, Section II.A) while preserving arrival
+        order between applications.
+        """
+        by_app: "OrderedDict[str, list[Pod]]" = OrderedDict()
+        for pod in self._pending.values():
+            by_app.setdefault(pod.app, []).append(pod)
+        pods = [p for group in by_app.values() for p in group]
+        nodes = self._new_nodes
+        self._pending = OrderedDict()
+        self._new_nodes = []
+        return pods, nodes
+
+    @property
+    def n_pending(self) -> int:
+        return len(self._pending)

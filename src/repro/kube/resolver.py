@@ -1,0 +1,60 @@
+"""RE — the resolvers, plus the end-to-end scheduling loop (Fig. 6).
+
+"RE integrates Aladdin to map containers to resources."  The binding
+resolver turns the scheduler's placement decisions into API-server
+bindings (and failure marks); :class:`SchedulingLoop` wires
+EHC → MA → scheduler → RE into the co-design pipeline of Fig. 6.
+"""
+
+from __future__ import annotations
+
+from repro.base import ScheduleResult, Scheduler
+from repro.core.scheduler import AladdinScheduler
+from repro.kube.adaptor import ModelAdaptor
+from repro.kube.api import Binding, KubeApiServer
+from repro.kube.ehc import EventsHandlingCenter
+
+
+class BindingResolver:
+    """Maps scheduler placements back to API-server bindings."""
+
+    def __init__(self, api: KubeApiServer, adaptor: ModelAdaptor) -> None:
+        self.api = api
+        self.adaptor = adaptor
+
+    def apply(self, result: ScheduleResult) -> list[Binding]:
+        """Bind every placement; mark undeployed pods failed."""
+        bindings: list[Binding] = []
+        for cid, machine_id in sorted(result.placements.items()):
+            binding = Binding(
+                pod_name=self.adaptor.pod_name(cid),
+                node_name=self.adaptor.node_name(machine_id),
+            )
+            self.api.bind(binding)
+            bindings.append(binding)
+        for cid in result.undeployed:
+            self.api.fail_pod(self.adaptor.pod_name(cid))
+        return bindings
+
+
+class SchedulingLoop:
+    """The full EHC → MA → scheduler → RE pipeline of Fig. 6."""
+
+    def __init__(
+        self, api: KubeApiServer, scheduler: Scheduler | None = None
+    ) -> None:
+        self.api = api
+        self.scheduler = scheduler if scheduler is not None else AladdinScheduler()
+        self.ehc = EventsHandlingCenter(api)
+        self.adaptor = ModelAdaptor()
+        self.resolver = BindingResolver(api, self.adaptor)
+
+    def run_once(self) -> ScheduleResult:
+        """Drain pending events, schedule them, resolve bindings."""
+        pods, nodes = self.ehc.drain()
+        self.adaptor.add_nodes(nodes)
+        containers = self.adaptor.to_containers(pods)
+        state = self.adaptor.state()
+        result = self.scheduler.schedule(containers, state)
+        self.resolver.apply(result)
+        return result

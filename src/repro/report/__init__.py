@@ -1,0 +1,14 @@
+"""Report rendering: text tables and series for every figure/table."""
+
+from repro.report.tables import format_table, metrics_table
+from repro.report.figures import format_series, paper_vs_measured
+from repro.report.experiments import ExperimentOptions, run_all_experiments
+
+__all__ = [
+    "format_table",
+    "metrics_table",
+    "format_series",
+    "paper_vs_measured",
+    "ExperimentOptions",
+    "run_all_experiments",
+]

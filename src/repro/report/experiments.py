@@ -1,0 +1,193 @@
+"""One-command regeneration of the full evaluation as a markdown report.
+
+``run_all_experiments`` executes a compact version of every experiment
+in the paper's evaluation section against one trace and returns a
+markdown document with the same structure as ``EXPERIMENTS.md`` —
+useful for re-validating the reproduction at other scales/seeds
+(``python -m repro experiments --scale 0.1 --seed 3``).
+
+The heavyweight parts (the Fig. 10 minimum-cluster binary searches and
+the Fig. 12 cluster sweep) can be toggled off for quick runs.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+from repro.baselines.firmament import FirmamentScheduler
+from repro.baselines.firmament_policies import FirmamentPolicy
+from repro.baselines.kube import GoKubeScheduler
+from repro.baselines.medea import MedeaScheduler, MedeaWeights
+from repro.core import AladdinConfig, AladdinScheduler
+from repro.sim import Simulator, minimum_cluster_size
+from repro.trace.arrival import ArrivalOrder
+from repro.trace.schema import Trace
+from repro.trace.stats import workload_stats
+
+
+@dataclass(frozen=True)
+class ExperimentOptions:
+    """What to include in the regenerated report."""
+
+    include_fig10: bool = True
+    include_fig12: bool = True
+    fig9_reschd: tuple[int, ...] = (1, 8)
+    fig10_orders: tuple[ArrivalOrder, ...] = (ArrivalOrder.CHP, ArrivalOrder.CSA)
+
+
+def run_all_experiments(
+    trace: Trace, options: ExperimentOptions | None = None
+) -> str:
+    """Run the evaluation and render it as markdown."""
+    options = options or ExperimentOptions()
+    out = io.StringIO()
+    w = out.write
+
+    w("# Regenerated evaluation report\n\n")
+    w(f"Trace: scale={trace.config.scale}, seed={trace.config.seed}, "
+      f"{trace.n_apps} LLAs / {trace.n_containers} containers.\n\n")
+
+    _fig8(w, trace)
+    pressured = _pressured_sim(trace)
+    _fig9(w, trace, pressured, options)
+    if options.include_fig10:
+        _fig10(w, trace, options)
+    _fig11(w, trace)
+    if options.include_fig12:
+        _fig12(w, trace)
+    _fig13(w, pressured)
+    return out.getvalue()
+
+
+# ----------------------------------------------------------------------
+def _pressured_sim(trace: Trace) -> Simulator:
+    total_cpu = sum(a.cpu * a.n_containers for a in trace.applications)
+    return Simulator(trace, n_machines=max(1, round(total_cpu / 32.0 / 0.92)))
+
+
+def _md_table(w, headers: list[str], rows: list[list[object]]) -> None:
+    w("| " + " | ".join(headers) + " |\n")
+    w("|" + "|".join("---" for _ in headers) + "|\n")
+    for row in rows:
+        w("| " + " | ".join(str(c) for c in row) + " |\n")
+    w("\n")
+
+
+def _fig8(w, trace: Trace) -> None:
+    w("## Fig. 8 — workload features\n\n")
+    stats = workload_stats(trace)
+    _md_table(
+        w,
+        ["metric", "value"],
+        [[k, round(v, 3) if isinstance(v, float) else v]
+         for k, v in stats.as_rows()],
+    )
+
+
+def _fig9(w, trace: Trace, sim: Simulator, options: ExperimentOptions) -> None:
+    w("## Fig. 9 — placement quality (violations %)\n\n")
+    rows = []
+    for reschd in options.fig9_reschd:
+        for policy in (FirmamentPolicy.TRIVIAL, FirmamentPolicy.QUINCY,
+                       FirmamentPolicy.OCTOPUS):
+            m = sim.run(FirmamentScheduler(policy, reschd=reschd)).metrics
+            rows.append([m.scheduler, f"{m.violation_pct:.1f}",
+                         m.n_undeployed, m.n_violating_placements])
+    for weights in (MedeaWeights(1, 1, 1), MedeaWeights(1, 1, 0)):
+        m = sim.run(MedeaScheduler(weights)).metrics
+        rows.append([m.scheduler, f"{m.violation_pct:.1f}",
+                     m.n_undeployed, m.n_violating_placements])
+    m = sim.run(GoKubeScheduler()).metrics
+    rows.append([m.scheduler, f"{m.violation_pct:.1f}",
+                 m.n_undeployed, m.n_violating_placements])
+    for base in (16, 128):
+        m = sim.run(
+            AladdinScheduler(AladdinConfig(priority_weight_base=base))
+        ).metrics
+        rows.append([m.scheduler, f"{m.violation_pct:.1f}",
+                     m.n_undeployed, m.n_violating_placements])
+    _md_table(w, ["scheduler", "violations %", "undeployed", "violating"], rows)
+
+
+def _fig10(w, trace: Trace, options: ExperimentOptions) -> None:
+    w("## Fig. 10 — machines used (minimum clean cluster)\n\n")
+    comparators = {
+        "Aladdin": lambda: AladdinScheduler(),
+        "Medea(1,1,0)": lambda: MedeaScheduler(MedeaWeights(1, 1, 0)),
+        "Firmament-QUINCY(8)": lambda: FirmamentScheduler(
+            FirmamentPolicy.QUINCY, reschd=8
+        ),
+        "Go-Kube": lambda: GoKubeScheduler(),
+    }
+    rows = []
+    for name, factory in comparators.items():
+        sizes = [
+            minimum_cluster_size(trace, factory, order)
+            for order in options.fig10_orders
+        ]
+        rows.append(
+            [name] + sizes + [f"{max(sizes) / min(sizes) - 1:.1%}"]
+        )
+    headers = (
+        ["scheduler"]
+        + [o.value for o in options.fig10_orders]
+        + ["spread"]
+    )
+    _md_table(w, headers, rows)
+
+
+def _fig11(w, trace: Trace) -> None:
+    w("## Fig. 11 — utilization (open pool, trace order)\n\n")
+    sim = Simulator(trace, machine_pool_factor=1.6)
+    rows = []
+    for sched in (AladdinScheduler(), GoKubeScheduler()):
+        m = sim.run(sched).metrics
+        rows.append([
+            m.scheduler,
+            f"{m.utilization_min:.0%}",
+            f"{m.utilization_max:.0%}",
+            f"{m.utilization_mean:.0%}",
+        ])
+    _md_table(w, ["scheduler", "min util", "max util", "avg util"], rows)
+
+
+def _fig12(w, trace: Trace) -> None:
+    w("## Fig. 12 — search work vs cluster size\n\n")
+    n = trace.config.n_machines
+    rows = []
+    for name, cfg in (
+        ("Aladdin", AladdinConfig(enable_il=False, enable_dl=False)),
+        ("Aladdin+IL+DL", AladdinConfig()),
+    ):
+        per_size = []
+        for machines in (n, 2 * n):
+            r = Simulator(trace, n_machines=machines).run(AladdinScheduler(cfg))
+            per_size.append(r.schedule.explored)
+        rows.append([name] + [f"{v:,}" for v in per_size])
+    kube = []
+    for machines in (n, 2 * n):
+        r = Simulator(trace, n_machines=machines).run(GoKubeScheduler())
+        kube.append(r.schedule.explored)
+    rows.append(["Go-Kube"] + [f"{v:,}" for v in kube])
+    _md_table(w, ["policy", f"{n} machines", f"{2 * n} machines"], rows)
+
+
+def _fig13(w, sim: Simulator) -> None:
+    w("## Fig. 13 — migration cost per arrival order (pressured)\n\n")
+    rows = []
+    for order in (ArrivalOrder.CHP, ArrivalOrder.CLP, ArrivalOrder.CLA,
+                  ArrivalOrder.CSA):
+        m = sim.run(AladdinScheduler(), order).metrics
+        rows.append([
+            order.value,
+            m.migrations,
+            m.preemptions,
+            f"{m.violation_pct:.2f}",
+            f"{m.latency_total_s:.2f}s",
+        ])
+    _md_table(
+        w,
+        ["order", "migrations", "preemptions", "violations %", "overhead"],
+        rows,
+    )

@@ -1,0 +1,51 @@
+"""Series rendering and paper-vs-measured comparison rows."""
+
+from __future__ import annotations
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def format_series(
+    name: str,
+    points: list[tuple[object, float]],
+    unit: str = "",
+    width: int = 40,
+) -> str:
+    """One labelled series as aligned rows with a proportional bar.
+
+    The bar substitutes for the paper's figure axis: relative magnitude
+    is visible at a glance in plain text.
+    """
+    if not points:
+        return f"{name}: (no data)"
+    peak = max(abs(v) for _, v in points) or 1.0
+    lines = [name]
+    for x, v in points:
+        filled = v / peak * width
+        whole = int(filled)
+        frac = int((filled - whole) * (len(_BLOCKS) - 1))
+        bar = "█" * whole + (_BLOCKS[frac] if frac else "")
+        lines.append(f"  {str(x):>12s}  {v:12.3f}{unit:<6s} {bar}")
+    return "\n".join(lines)
+
+
+def paper_vs_measured(
+    rows: list[tuple[str, object, object]], title: str = ""
+) -> str:
+    """(metric, paper value, measured value) comparison block.
+
+    Used by every benchmark to print the EXPERIMENTS.md evidence
+    directly from the run.
+    """
+    lines = [title] if title else []
+    width = max((len(r[0]) for r in rows), default=10)
+    lines.append(f"{'metric':<{width}s}  {'paper':>14s}  {'measured':>14s}")
+    for metric, paper, measured in rows:
+        lines.append(f"{metric:<{width}s}  {_f(paper):>14s}  {_f(measured):>14s}")
+    return "\n".join(lines)
+
+
+def _f(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

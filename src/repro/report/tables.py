@@ -1,0 +1,66 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same rows the paper's tables/figures
+report; these helpers keep that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from repro.sim.metrics import SimulationMetrics
+
+
+def format_table(
+    headers: list[str], rows: list[list[object]], title: str | None = None
+) -> str:
+    """Fixed-width ASCII table."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def metrics_table(
+    metrics: list[SimulationMetrics], title: str | None = None
+) -> str:
+    """The standard evaluation row set for a list of runs."""
+    headers = [
+        "scheduler",
+        "order",
+        "viol%",
+        "undeployed",
+        "violating",
+        "aa-share%",
+        "machines",
+        "migr",
+        "ms/container",
+    ]
+    rows = [
+        [
+            m.scheduler,
+            m.arrival_order,
+            f"{m.violation_pct:.1f}",
+            m.n_undeployed,
+            m.n_violating_placements,
+            f"{m.anti_affinity_share_pct:.0f}",
+            m.used_machines,
+            m.migrations,
+            f"{m.latency_per_container_ms:.3f}",
+        ]
+        for m in metrics
+    ]
+    return format_table(headers, rows, title=title)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,41 @@
+"""Simulation harness: trace replay, metrics and experiment sweeps.
+
+The paper evaluates "Aladdin's codes and scheduling logic ... merely
+stubbing out RPCs and task execution" (Section V.A); this package is
+that simulation: it replays a trace's container stream against a
+scheduler and a :class:`~repro.cluster.state.ClusterState`, then derives
+every metric the evaluation section reports.
+"""
+
+from repro.sim.metrics import SimulationMetrics, compute_metrics, relative_efficiency
+from repro.sim.results import SimulationResult
+from repro.sim.simulator import Simulator
+from repro.sim.runner import run_experiment, latency_sweep, minimum_cluster_size
+from repro.sim.faults import (
+    FaultReport,
+    fail_machines,
+    random_failures,
+    recover,
+    repair_machines,
+)
+from repro.sim.online import OnlineConfig, OnlineResult, OnlineSimulator, TickSample
+
+__all__ = [
+    "SimulationMetrics",
+    "compute_metrics",
+    "relative_efficiency",
+    "SimulationResult",
+    "Simulator",
+    "run_experiment",
+    "latency_sweep",
+    "minimum_cluster_size",
+    "FaultReport",
+    "fail_machines",
+    "random_failures",
+    "recover",
+    "repair_machines",
+    "OnlineConfig",
+    "OnlineResult",
+    "OnlineSimulator",
+    "TickSample",
+]

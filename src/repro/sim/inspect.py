@@ -1,0 +1,138 @@
+"""Placement introspection: quality diagnostics beyond the headline metrics.
+
+The evaluation's aggregate numbers (violations %, machines used) say
+*that* a scheduler won; these diagnostics say *why*, in the vocabulary
+the paper uses informally:
+
+* **fragmentation** — free capacity stranded in slivers too small to
+  host each demand class (Section IV.D: "CHP and CSA policies can
+  effectively reduce resource fragments");
+* **spread** — over how many machines each application landed, the
+  quantity that decides anti-affinity blocking footprints (Fig. 9's
+  mechanism) and per-app failure blast radius;
+* **co-location pressure** — how close each machine sits to violating
+  a constraint (blacklist occupancy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.state import ClusterState
+
+
+@dataclass(frozen=True)
+class FragmentationReport:
+    """Free-capacity sliver analysis along the CPU dimension."""
+
+    total_free_cpu: float
+    #: demand size -> CPU stranded on machines too small for that size
+    stranded_by_demand: dict[float, float]
+    #: largest single contiguous slot in the cluster
+    largest_slot: float
+
+    def stranded_fraction(self, demand: float) -> float:
+        """Fraction of free CPU unusable by containers of ``demand``."""
+        if self.total_free_cpu <= 0:
+            return 0.0
+        return self.stranded_by_demand.get(demand, 0.0) / self.total_free_cpu
+
+
+def fragmentation(
+    state: ClusterState, demand_classes: tuple[float, ...] = (1, 2, 4, 8, 16)
+) -> FragmentationReport:
+    """Measure how much free CPU is stranded per demand class."""
+    free = state.available[:, 0]
+    total = float(free.sum())
+    stranded = {}
+    for demand in demand_classes:
+        unusable = free[free < demand]
+        stranded[float(demand)] = float(unusable.sum())
+    return FragmentationReport(
+        total_free_cpu=total,
+        stranded_by_demand=stranded,
+        largest_slot=float(free.max()) if free.size else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class SpreadReport:
+    """Per-application machine-spread statistics."""
+
+    #: app id -> number of distinct machines hosting it
+    machines_per_app: dict[int, int]
+    mean_spread: float
+    max_spread: int
+
+    def footprint(self, app_id: int) -> int:
+        return self.machines_per_app.get(app_id, 0)
+
+
+def application_spread(state: ClusterState) -> SpreadReport:
+    """How many machines each deployed application touches."""
+    per_app = {
+        app_id: len(machines)
+        for app_id, machines in state.app_machines.items()
+        if machines
+    }
+    values = list(per_app.values())
+    return SpreadReport(
+        machines_per_app=per_app,
+        mean_spread=float(np.mean(values)) if values else 0.0,
+        max_spread=max(values, default=0),
+    )
+
+
+@dataclass(frozen=True)
+class BlockingReport:
+    """Anti-affinity blocking footprints (the Fig. 9 mechanism)."""
+
+    #: app id -> machines its constraints currently forbid
+    blocked_machines: dict[int, int]
+    worst_app: int | None
+    worst_blocked: int
+
+    def blocked_fraction(self, app_id: int, n_machines: int) -> float:
+        return self.blocked_machines.get(app_id, 0) / n_machines
+
+
+def blocking_footprints(
+    state: ClusterState, app_ids: list[int] | None = None
+) -> BlockingReport:
+    """Blocked-machine counts per application.
+
+    For packing schedulers these stay proportional to the conflicting
+    containers' *packed* footprint; for spreading schedulers they
+    approach the whole cluster — exactly the separation the paper's
+    placement-quality experiment measures.
+    """
+    if app_ids is None:
+        app_ids = sorted(state.constraints.apps_with_anti_affinity())
+    blocked = {}
+    worst_app, worst = None, -1
+    for app_id in app_ids:
+        count = int(state.forbidden_mask(app_id).sum())
+        blocked[app_id] = count
+        if count > worst:
+            worst_app, worst = app_id, count
+    return BlockingReport(
+        blocked_machines=blocked,
+        worst_app=worst_app,
+        worst_blocked=max(worst, 0),
+    )
+
+
+def packing_quality(state: ClusterState) -> float:
+    """Used-machine efficiency in [0, 1]: 1.0 = as few machines as the
+    total deployed demand could possibly occupy (CPU lower bound)."""
+    used = state.used_machines()
+    if used == 0:
+        return 1.0
+    deployed_cpu = float(
+        (state.topology.capacity[:, 0] - state.available[:, 0]).sum()
+    )
+    per_machine = state.topology.capacity[:, 0].max()
+    lower_bound = max(1.0, np.ceil(deployed_cpu / per_machine))
+    return float(lower_bound / used)

@@ -1,0 +1,187 @@
+"""Online (event-driven) simulation with arrivals and departures.
+
+The trace replay of :mod:`repro.sim.simulator` models the paper's
+burst-arrival evaluation ("massive LLAs arrive simultaneously"); this
+module models the *steady state* around it: long-lived applications
+arrive over time, live for "durations ranging from hours to months"
+(Section I), and depart — continuously churning the cluster the
+scheduler placed.  Fragmentation accumulates exactly where the paper's
+migration mechanism (Fig. 7) earns its keep, so the online simulation
+is the natural stress test for it.
+
+Time is discrete ticks.  Each tick:
+
+1. expired applications depart (their containers are evicted);
+2. newly arrived applications are scheduled as one submission batch;
+3. cluster metrics are sampled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.base import Scheduler
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import build_cluster
+from repro.trace.arrival import ArrivalOrder, order_applications
+from repro.trace.schema import Trace
+
+
+@dataclass(frozen=True)
+class OnlineConfig:
+    """Knobs of the online simulation.
+
+    Parameters
+    ----------
+    ticks:
+        Length of the arrival phase; applications arrive uniformly
+        spread over it (the simulation keeps running until the last
+        arrival has been processed).
+    lifetime_ticks:
+        (min, max) application lifetime, sampled log-uniformly — the
+        hours-to-months spread of Section I, in tick units.
+    arrival_order:
+        Ordering of the arrival stream (CHP/CLP/CLA/CSA/trace).
+    seed:
+        RNG seed for lifetimes.
+    machine_pool_factor:
+        Headroom over the trace's nominal cluster.
+    """
+
+    ticks: int = 50
+    lifetime_ticks: tuple[int, int] = (10, 200)
+    arrival_order: ArrivalOrder = ArrivalOrder.TRACE
+    seed: int = 0
+    machine_pool_factor: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.ticks < 1:
+            raise ValueError("ticks must be >= 1")
+        lo, hi = self.lifetime_ticks
+        if not 1 <= lo <= hi:
+            raise ValueError(f"bad lifetime range {self.lifetime_ticks}")
+        if self.machine_pool_factor < 1.0:
+            raise ValueError("machine_pool_factor must be >= 1")
+
+
+@dataclass
+class TickSample:
+    """Metrics sampled at the end of one tick."""
+
+    tick: int
+    arrived_containers: int
+    departed_containers: int
+    running_containers: int
+    pending_failures: int
+    used_machines: int
+    mean_utilization: float
+    migrations: int
+    violations: int
+
+
+@dataclass
+class OnlineResult:
+    """Per-tick series plus whole-run aggregates."""
+
+    samples: list[TickSample] = field(default_factory=list)
+    total_arrived: int = 0
+    total_departed: int = 0
+    total_failed: int = 0
+    total_migrations: int = 0
+
+    @property
+    def peak_used_machines(self) -> int:
+        return max((s.used_machines for s in self.samples), default=0)
+
+    @property
+    def failure_rate(self) -> float:
+        return self.total_failed / self.total_arrived if self.total_arrived else 0.0
+
+    def series(self, attr: str) -> list[tuple[int, float]]:
+        """(tick, value) pairs for one sampled attribute."""
+        return [(s.tick, getattr(s, attr)) for s in self.samples]
+
+
+class OnlineSimulator:
+    """Drives a scheduler through an arriving-and-departing workload."""
+
+    def __init__(self, trace: Trace, config: OnlineConfig | None = None) -> None:
+        self.trace = trace
+        self.config = config if config is not None else OnlineConfig()
+        n = max(1, round(trace.config.n_machines * self.config.machine_pool_factor))
+        self._topology = build_cluster(n)
+
+    def run(self, scheduler: Scheduler) -> OnlineResult:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        state = ClusterState(self._topology, self.trace.constraints)
+        apps = order_applications(self.trace, cfg.arrival_order)
+
+        # Arrival tick per application, uniformly spread; lifetime
+        # log-uniform over the configured range.
+        arrival_tick = np.sort(rng.integers(0, cfg.ticks, len(apps)))
+        lo, hi = cfg.lifetime_ticks
+        lifetimes = np.exp(
+            rng.uniform(np.log(lo), np.log(hi + 1), len(apps))
+        ).astype(np.int64)
+
+        life_of = {app.app_id: int(lifetimes[i]) for i, app in enumerate(apps)}
+        by_app = {}
+        for c in self.trace.containers:
+            by_app.setdefault(c.app_id, []).append(c)
+
+        #: departure tick -> container ids to evict
+        departures: dict[int, list[int]] = {}
+        result = OnlineResult()
+        out: list[TickSample] = result.samples
+
+        horizon = cfg.ticks + int(lifetimes.max()) + 1
+        idx = 0
+        for tick in range(horizon):
+            departed = 0
+            for cid in departures.pop(tick, ()):  # 1. departures
+                if cid in state.assignment:
+                    state.evict(cid)
+                    departed += 1
+            result.total_departed += departed
+
+            batch = []
+            while idx < len(apps) and arrival_tick[idx] <= tick:
+                app = apps[idx]
+                batch.extend(by_app[app.app_id])
+                idx += 1
+
+            migrations = 0
+            failed = 0
+            if batch:  # 2. arrivals
+                schedule = scheduler.schedule(batch, state)
+                migrations = schedule.migrations
+                failed = schedule.n_undeployed
+                result.total_arrived += len(batch)
+                result.total_failed += failed
+                result.total_migrations += migrations
+                for c in batch:
+                    if c.container_id in schedule.placements:
+                        end = tick + life_of[c.app_id]
+                        departures.setdefault(end, []).append(c.container_id)
+
+            used = state.used_machines()  # 3. sampling
+            util = state.used_utilization(0)
+            out.append(
+                TickSample(
+                    tick=tick,
+                    arrived_containers=len(batch),
+                    departed_containers=departed,
+                    running_containers=len(state.assignment),
+                    pending_failures=failed,
+                    used_machines=used,
+                    mean_utilization=float(util.mean()) if used else 0.0,
+                    migrations=migrations,
+                    violations=state.anti_affinity_violations(),
+                )
+            )
+            if idx >= len(apps) and not departures:
+                break
+        return result

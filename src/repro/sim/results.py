@@ -1,0 +1,44 @@
+"""Simulation result records."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.base import ScheduleResult
+from repro.cluster.state import ClusterState
+from repro.sim.metrics import SimulationMetrics
+
+
+@dataclass
+class SimulationResult:
+    """Everything produced by one scheduler run on one trace replay."""
+
+    metrics: SimulationMetrics
+    schedule: ScheduleResult
+    state: ClusterState
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        m = self.metrics
+        return (
+            f"{m.scheduler:28s} order={m.arrival_order:5s} "
+            f"violations={m.violation_pct:5.1f}% "
+            f"(undeployed={m.n_undeployed}, violating={m.n_violating_placements}) "
+            f"machines={m.used_machines} "
+            f"migr={m.migrations} latency={m.latency_per_container_ms:.3f} ms/ctr"
+        )
+
+
+def dump_metrics(
+    results: list[SimulationResult] | list[SimulationMetrics], path: str | Path
+) -> Path:
+    """Write metric rows as JSON lines for offline analysis."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        for r in results:
+            metrics = r.metrics if isinstance(r, SimulationResult) else r
+            fh.write(json.dumps(metrics.row()) + "\n")
+    return path

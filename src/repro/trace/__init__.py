@@ -1,0 +1,39 @@
+"""Workload substrate: synthetic Alibaba-like LLA traces.
+
+The paper evaluates on a proprietary production trace from a
+10,000-machine Alibaba cluster (Section V.A).  This package generates a
+synthetic equivalent calibrated to every statistic the paper publishes
+about that trace (Fig. 8 and the surrounding text); see
+``DESIGN.md`` §2 for the substitution argument.
+
+* :class:`~repro.trace.schema.TraceConfig` / :class:`~repro.trace.schema.Trace`
+  — configuration and the generated workload.
+* :func:`~repro.trace.generator.generate_trace` — the calibrated sampler.
+* :class:`~repro.trace.arrival.ArrivalOrder` /
+  :func:`~repro.trace.arrival.order_containers` — the four arrival
+  characteristics of Section V.C/V.D (CHP, CLP, CLA, CSA).
+* :mod:`~repro.trace.loader` — CSV round-trip.
+* :mod:`~repro.trace.stats` — the Fig. 8 workload statistics.
+"""
+
+from repro.trace.schema import Trace, TraceConfig
+from repro.trace.generator import generate_trace
+from repro.trace.arrival import ArrivalOrder, anti_affinity_degree, order_containers
+from repro.trace.loader import load_trace, save_trace
+from repro.trace.stats import WorkloadStats, workload_stats
+from repro.trace.alibaba import load_alibaba_trace, load_container_meta
+
+__all__ = [
+    "Trace",
+    "TraceConfig",
+    "generate_trace",
+    "ArrivalOrder",
+    "anti_affinity_degree",
+    "order_containers",
+    "load_trace",
+    "save_trace",
+    "WorkloadStats",
+    "workload_stats",
+    "load_alibaba_trace",
+    "load_container_meta",
+]

@@ -1,0 +1,93 @@
+"""Workload statistics (the Fig. 8 panels).
+
+:func:`workload_stats` computes everything the paper reports about its
+trace so the Fig. 8 benchmark can print paper-vs-measured rows:
+the per-application container-count CDF (Fig. 8a), the constraint
+counts (Fig. 8b) and the headline fractions from Section V.A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.arrival import anti_affinity_degree
+from repro.trace.schema import Trace
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Summary statistics of one trace."""
+
+    n_apps: int
+    n_containers: int
+    n_anti_affinity_apps: int
+    n_priority_apps: int
+    frac_single_instance: float
+    frac_lt_50_containers: float
+    max_containers_per_app: int
+    max_cpu_demand: float
+    max_mem_demand_gb: float
+    max_anti_affinity_degree: int
+    mean_cpu_demand: float
+
+    def as_rows(self) -> list[tuple[str, float]]:
+        """(metric, value) rows for report rendering."""
+        return [
+            ("total applications", self.n_apps),
+            ("total containers", self.n_containers),
+            ("applications with anti-affinity", self.n_anti_affinity_apps),
+            ("applications with priority", self.n_priority_apps),
+            ("fraction single-instance", self.frac_single_instance),
+            ("fraction < 50 containers", self.frac_lt_50_containers),
+            ("max containers per app", self.max_containers_per_app),
+            ("max CPU demand", self.max_cpu_demand),
+            ("max memory demand (GB)", self.max_mem_demand_gb),
+            ("max anti-affinity degree", self.max_anti_affinity_degree),
+            ("mean CPU demand", self.mean_cpu_demand),
+        ]
+
+
+def workload_stats(trace: Trace) -> WorkloadStats:
+    """Compute the Fig. 8 / Section V.A statistics for ``trace``."""
+    sizes = np.array([a.n_containers for a in trace.applications])
+    cpus = np.array([a.cpu for a in trace.applications])
+    mems = np.array([a.mem_gb for a in trace.applications])
+    weights = sizes / sizes.sum()
+    n_aa = sum(1 for a in trace.applications if a.has_anti_affinity)
+    n_prio = sum(1 for a in trace.applications if a.priority > 0)
+    max_degree = max(
+        (anti_affinity_degree(a, trace) for a in trace.applications), default=0
+    )
+    return WorkloadStats(
+        n_apps=trace.n_apps,
+        n_containers=trace.n_containers,
+        n_anti_affinity_apps=n_aa,
+        n_priority_apps=n_prio,
+        frac_single_instance=float((sizes == 1).mean()),
+        frac_lt_50_containers=float((sizes < 50).mean()),
+        max_containers_per_app=int(sizes.max()),
+        max_cpu_demand=float(cpus.max()),
+        max_mem_demand_gb=float(mems.max()),
+        max_anti_affinity_degree=int(max_degree),
+        mean_cpu_demand=float((cpus * weights).sum()),
+    )
+
+
+def container_count_cdf(
+    trace: Trace, points: list[int] | None = None
+) -> list[tuple[int, float]]:
+    """CDF of containers-per-application at the given size points (Fig. 8a).
+
+    Returns (size, fraction of applications with n_containers <= size).
+    """
+    sizes = np.sort(np.array([a.n_containers for a in trace.applications]))
+    if points is None:
+        points = sorted(
+            {1, 2, 5, 10, 50, 100, 500, 1000, 2000, int(sizes.max())}
+        )
+    n = sizes.size
+    return [
+        (p, float(np.searchsorted(sizes, p, side="right")) / n) for p in points
+    ]

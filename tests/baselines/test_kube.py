@@ -1,0 +1,97 @@
+"""Go-Kube baseline tests."""
+
+import pytest
+
+from repro.base import FailureReason
+from repro.baselines.kube import GoKubeScheduler
+
+from tests.conftest import containers_for, make_apps, state_for
+
+
+def run(apps, n_machines=4, **kw):
+    sched = GoKubeScheduler(**kw)
+    state = state_for(apps, n_machines=n_machines)
+    return sched.schedule(containers_for(apps), state), state
+
+
+class TestScoring:
+    def test_spreads_by_least_requested(self):
+        """Kubernetes scoring picks the emptiest machine: two identical
+        containers land on two different machines."""
+        apps = make_apps((2, 4.0, 0, False, ()))
+        result, _ = run(apps)
+        assert result.placements[0] != result.placements[1]
+
+    def test_all_deployed_with_room(self):
+        apps = make_apps((4, 4.0, 0, False, ()), (2, 8.0, 0, False, ()))
+        result, state = run(apps)
+        assert result.n_undeployed == 0
+        assert state.anti_affinity_violations() == 0
+
+    def test_respects_anti_affinity_filter(self):
+        apps = make_apps((3, 4.0, 0, True, ()))
+        result, _ = run(apps)
+        machines = set(result.placements.values())
+        assert len(machines) == 3
+
+    def test_undeployed_when_aa_blocks_everywhere(self):
+        apps = make_apps((5, 1.0, 0, True, ()))
+        result, _ = run(apps, n_machines=4)
+        assert result.n_undeployed == 1
+        assert list(result.undeployed.values())[0] is FailureReason.ANTI_AFFINITY
+
+    def test_resource_failure_reason(self):
+        apps = make_apps((1, 16.0, 0, False, ()), (1, 32.0, 0, False, ()))
+        result, _ = run(apps, n_machines=1)
+        assert result.undeployed and all(
+            r is FailureReason.RESOURCES for r in result.undeployed.values()
+        )
+
+
+class TestPreemption:
+    def test_high_priority_preempts_low(self):
+        apps = make_apps(
+            (1, 32.0, 0, False, ()),  # fills the only machine
+            (1, 32.0, 2, False, ()),  # high priority arrives later
+        )
+        result, state = run(apps, n_machines=1)
+        assert result.placements.get(1) == 0
+        assert 0 in result.undeployed  # victim could not re-land
+        assert result.preemptions == 1
+
+    def test_victim_relands_elsewhere(self):
+        apps = make_apps(
+            (1, 32.0, 0, False, (1,)),
+            (1, 32.0, 2, False, ()),
+        )
+        result, state = run(apps, n_machines=2)
+        # No preemption needed: machine 1 is free for the second app.
+        assert result.preemptions == 0
+        assert result.n_undeployed == 0
+
+    def test_no_preemption_between_equal_priorities(self):
+        apps = make_apps(
+            (1, 32.0, 1, False, ()),
+            (1, 32.0, 1, False, ()),
+        )
+        result, _ = run(apps, n_machines=1)
+        assert result.preemptions == 0
+        assert result.n_undeployed == 1
+
+    def test_preemption_can_be_disabled(self):
+        apps = make_apps(
+            (1, 32.0, 0, False, ()),
+            (1, 32.0, 2, False, ()),
+        )
+        result, _ = run(apps, n_machines=1, enable_preemption=False)
+        assert 1 in result.undeployed
+
+    def test_disruption_budget_bounds_victims(self):
+        apps = make_apps(
+            (8, 4.0, 0, False, ()),  # eight small pods fill the machine
+            (1, 32.0, 2, False, ()),  # would need 8 evictions
+        )
+        result, _ = run(apps, n_machines=1, max_preemption_victims=4)
+        assert 8 in result.undeployed
+        result, _ = run(apps, n_machines=1, max_preemption_victims=8)
+        assert 8 in result.placements

@@ -1,0 +1,71 @@
+"""Unit tests for the anti-affinity constraint index."""
+
+import pytest
+
+from repro.cluster.constraints import AntiAffinityRule, ConstraintSet
+from repro.cluster.container import Application
+
+
+class TestAntiAffinityRule:
+    def test_within_detection(self):
+        assert AntiAffinityRule(3, 3).within
+        assert not AntiAffinityRule(3, 4).within
+
+    def test_normalized_orders_pair(self):
+        rule = AntiAffinityRule(7, 2).normalized()
+        assert (rule.app_a, rule.app_b) == (2, 7)
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(ValueError):
+            AntiAffinityRule(-1, 2)
+
+    def test_rejects_bad_hardness(self):
+        with pytest.raises(ValueError):
+            AntiAffinityRule(1, 2, hardness=7)
+
+
+class TestConstraintSet:
+    def test_cross_rules_are_symmetric(self):
+        cs = ConstraintSet([AntiAffinityRule(1, 2)])
+        assert cs.violates(1, 2)
+        assert cs.violates(2, 1)
+        assert 2 in cs.conflicts_of(1)
+        assert 1 in cs.conflicts_of(2)
+
+    def test_within_rule(self):
+        cs = ConstraintSet([AntiAffinityRule(4, 4)])
+        assert cs.has_within(4)
+        assert cs.violates(4, 4)
+        assert not cs.violates(4, 5)
+
+    def test_same_app_without_within_rule_ok(self):
+        cs = ConstraintSet()
+        assert not cs.violates(9, 9)
+
+    def test_conflicting_pairs_canonical(self):
+        cs = ConstraintSet([AntiAffinityRule(5, 1), AntiAffinityRule(1, 5)])
+        assert cs.conflicting_pairs() == {(1, 5)}
+
+    def test_len_counts_within_and_pairs(self):
+        cs = ConstraintSet(
+            [AntiAffinityRule(0, 0), AntiAffinityRule(1, 2), AntiAffinityRule(2, 3)]
+        )
+        assert len(cs) == 3
+
+    def test_apps_with_anti_affinity(self):
+        cs = ConstraintSet([AntiAffinityRule(0, 0), AntiAffinityRule(1, 2)])
+        assert cs.apps_with_anti_affinity() == {0, 1, 2}
+
+    def test_from_applications(self):
+        apps = [
+            Application(0, 2, 1.0, 2.0, anti_affinity_within=True),
+            Application(1, 1, 1.0, 2.0, conflicts=frozenset({0})),
+            Application(2, 1, 1.0, 2.0),
+        ]
+        cs = ConstraintSet.from_applications(apps)
+        assert cs.has_within(0)
+        assert cs.violates(0, 1)
+        assert not cs.violates(2, 0)
+
+    def test_conflicts_of_unknown_app_is_empty(self):
+        assert ConstraintSet().conflicts_of(42) == frozenset()

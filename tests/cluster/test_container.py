@@ -1,0 +1,68 @@
+"""Unit tests for Application and Container."""
+
+import pytest
+
+from repro.cluster.container import Application, Container, containers_of
+
+
+def app(i=0, n=3, cpu=4.0, **kw):
+    return Application(app_id=i, n_containers=n, cpu=cpu, mem_gb=cpu * 2, **kw)
+
+
+class TestApplication:
+    def test_demand_vector_default_order(self):
+        assert app(cpu=4.0).demand_vector().tolist() == [4.0, 8.0]
+
+    def test_demand_vector_custom_order(self):
+        assert app(cpu=4.0).demand_vector(("mem_gb", "cpu")).tolist() == [8.0, 4.0]
+
+    def test_has_anti_affinity_from_within(self):
+        assert app(anti_affinity_within=True).has_anti_affinity
+
+    def test_has_anti_affinity_from_conflicts(self):
+        assert app(conflicts=frozenset({5})).has_anti_affinity
+
+    def test_no_anti_affinity_by_default(self):
+        assert not app().has_anti_affinity
+
+    def test_rejects_self_in_conflicts(self):
+        with pytest.raises(ValueError, match="anti_affinity_within"):
+            app(i=3, conflicts=frozenset({3}))
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(app_id=-1),
+            dict(n_containers=0),
+            dict(cpu=0.0),
+            dict(mem_gb=-1.0),
+            dict(priority=-2),
+        ],
+    )
+    def test_rejects_invalid_fields(self, kw):
+        base = dict(app_id=0, n_containers=1, cpu=1.0, mem_gb=2.0, priority=0)
+        base.update(kw)
+        with pytest.raises(ValueError):
+            Application(**base)
+
+
+class TestContainersOf:
+    def test_expands_all_instances(self):
+        apps = [app(0, n=3), app(1, n=2)]
+        cs = containers_of(apps)
+        assert len(cs) == 5
+        assert [c.app_id for c in cs] == [0, 0, 0, 1, 1]
+        assert [c.instance for c in cs] == [0, 1, 2, 0, 1]
+
+    def test_container_ids_are_dense_and_positional(self):
+        cs = containers_of([app(0, n=2), app(1, n=2)], start_id=10)
+        assert [c.container_id for c in cs] == [10, 11, 12, 13]
+
+    def test_containers_inherit_app_demand_and_priority(self):
+        cs = containers_of([app(0, n=2, cpu=8.0, priority=3)])
+        for c in cs:
+            assert (c.cpu, c.mem_gb, c.priority) == (8.0, 16.0, 3)
+
+    def test_container_demand_vector(self):
+        c = Container(container_id=0, app_id=0, instance=0, cpu=2.0, mem_gb=4.0)
+        assert c.demand_vector(("cpu",)).tolist() == [2.0]

@@ -1,0 +1,39 @@
+"""Unit tests for the event log."""
+
+from repro.cluster.events import Event, EventKind, EventLog
+
+
+def ev(kind, t=0, cid=0):
+    return Event(kind=kind, time=t, container_id=cid, machine_id=0)
+
+
+class TestEventLog:
+    def test_append_and_len(self):
+        log = EventLog()
+        log.append(ev(EventKind.DEPLOY))
+        log.append(ev(EventKind.EVICT))
+        assert len(log) == 2
+
+    def test_of_kind_filters(self):
+        log = EventLog()
+        for kind in (EventKind.DEPLOY, EventKind.EVICT, EventKind.DEPLOY):
+            log.append(ev(kind))
+        assert len(log.of_kind(EventKind.DEPLOY)) == 2
+        assert log.count(EventKind.EVICT) == 1
+        assert log.count(EventKind.MIGRATE) == 0
+
+    def test_iteration_preserves_order(self):
+        log = EventLog()
+        for t in range(5):
+            log.append(ev(EventKind.SUBMIT, t=t, cid=t))
+        assert [e.time for e in log] == list(range(5))
+
+    def test_migrate_event_carries_source(self):
+        e = Event(
+            kind=EventKind.MIGRATE,
+            time=1,
+            container_id=9,
+            machine_id=3,
+            source_machine=1,
+        )
+        assert e.source_machine == 1

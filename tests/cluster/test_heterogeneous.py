@@ -1,0 +1,151 @@
+"""Heterogeneous clusters — the paper's stated future work (Section VII).
+
+Every scheduler reads capacities through ``ClusterTopology.capacity``,
+so mixed machine shapes work throughout; these tests pin that down.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AladdinScheduler,
+    Application,
+    ClusterState,
+    ConstraintSet,
+    GoKubeScheduler,
+    MachineSpec,
+    MedeaScheduler,
+    MedeaWeights,
+    build_heterogeneous_cluster,
+)
+from repro.cluster.container import containers_of
+from repro.cluster.topology import ClusterSpec, ClusterTopology
+
+
+def mixed_topology():
+    return build_heterogeneous_cluster(
+        [
+            (4, MachineSpec(cpu=8.0, mem_gb=16.0)),
+            (2, MachineSpec(cpu=64.0, mem_gb=128.0)),
+        ],
+        machines_per_rack=4,
+    )
+
+
+class TestTopology:
+    def test_capacity_per_group(self):
+        topo = mixed_topology()
+        assert topo.n_machines == 6
+        assert topo.capacity[0].tolist() == [8.0, 16.0]
+        assert topo.capacity[5].tolist() == [64.0, 128.0]
+        assert not topo.is_homogeneous
+
+    def test_homogeneous_flag(self):
+        topo = build_heterogeneous_cluster([(3, MachineSpec())])
+        assert topo.is_homogeneous
+
+    def test_rejects_empty_groups(self):
+        with pytest.raises(ValueError):
+            build_heterogeneous_cluster([])
+
+    def test_rejects_nonpositive_count(self):
+        with pytest.raises(ValueError):
+            build_heterogeneous_cluster([(0, MachineSpec())])
+
+    def test_rejects_mixed_resource_dims(self):
+        with pytest.raises(ValueError, match="resource dimensions"):
+            build_heterogeneous_cluster(
+                [
+                    (1, MachineSpec()),
+                    (1, MachineSpec(resources=("cpu",))),
+                ]
+            )
+
+    def test_explicit_capacity_shape_checked(self):
+        spec = ClusterSpec(n_machines=3)
+        with pytest.raises(ValueError, match="shape"):
+            ClusterTopology(spec, capacity=np.ones((2, 2)))
+
+    def test_explicit_capacity_positive(self):
+        spec = ClusterSpec(n_machines=2)
+        with pytest.raises(ValueError, match="positive"):
+            ClusterTopology(spec, capacity=np.zeros((2, 2)))
+
+
+class TestSchedulingOnMixedShapes:
+    def apps(self):
+        return [
+            # only the big machines can host this
+            Application(0, 2, 32.0, 64.0, anti_affinity_within=True),
+            # fits anywhere
+            Application(1, 6, 4.0, 8.0),
+        ]
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            AladdinScheduler,
+            GoKubeScheduler,
+            lambda: MedeaScheduler(MedeaWeights(1, 1, 0)),
+        ],
+    )
+    def test_big_containers_land_on_big_machines(self, factory):
+        apps = self.apps()
+        state = ClusterState(
+            mixed_topology(), ConstraintSet.from_applications(apps)
+        )
+        result = factory().schedule(containers_of(apps), state)
+        assert result.n_undeployed == 0
+        for c in containers_of(apps):
+            if c.cpu == 32.0:
+                assert result.placements[c.container_id] in (4, 5)
+        assert (state.available >= 0).all()
+
+    def test_utilization_uses_per_machine_capacity(self):
+        apps = [Application(0, 1, 8.0, 16.0)]
+        state = ClusterState(mixed_topology(), ConstraintSet())
+        AladdinScheduler().schedule(containers_of(apps), state)
+        util = state.used_utilization(dim=0)
+        # An 8-CPU container fills a small machine (100 %), not 12.5 %.
+        assert util.tolist() == [1.0]
+
+    def test_aladdin_migration_works_on_mixed_shapes(self):
+        apps = [
+            Application(0, 1, 6.0, 12.0, conflicts=frozenset({1})),
+            Application(1, 1, 6.0, 12.0, conflicts=frozenset({0})),
+        ]
+        topo = build_heterogeneous_cluster(
+            [(2, MachineSpec(cpu=8.0, mem_gb=16.0))]
+        )
+        state = ClusterState(topo, ConstraintSet.from_applications(apps))
+        result = AladdinScheduler().schedule(containers_of(apps), state)
+        assert result.n_undeployed == 0
+        assert len(set(result.placements.values())) == 2
+
+
+class TestKubeAdaptorMixedNodes:
+    def test_adaptor_builds_heterogeneous_state(self):
+        from repro.kube.adaptor import ModelAdaptor
+        from repro.kube.api import Node
+
+        adaptor = ModelAdaptor()
+        adaptor.add_nodes(
+            [Node("small", 8, 16), Node("big", 64, 128)]
+        )
+        state = adaptor.state()
+        assert state.topology.capacity[0, 0] == 8.0
+        assert state.topology.capacity[1, 0] == 64.0
+
+    def test_pipeline_schedules_across_mixed_nodes(self):
+        from repro.kube import KubeApiServer, Node, Pod, PodPhase, SchedulingLoop
+
+        api = KubeApiServer()
+        api.add_node(Node("small-0", 8, 16))
+        api.add_node(Node("big-0", 64, 128))
+        api.create_pod(Pod("tiny", "a", 4, 8))
+        api.create_pod(Pod("huge", "b", 48, 96))
+        loop = SchedulingLoop(api)
+        result = loop.run_once()
+        assert result.n_deployed == 2
+        nodes = {p.name: p.node_name for p in api.pods(PodPhase.SCHEDULED)}
+        assert nodes["huge"] == "big-0"

@@ -1,0 +1,53 @@
+"""Unit tests for MachineSpec."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import (
+    ALIBABA_MACHINE_CPU,
+    ALIBABA_MACHINE_MEM_GB,
+    MachineSpec,
+)
+
+
+class TestDefaults:
+    def test_matches_alibaba_trace_shape(self):
+        spec = MachineSpec()
+        assert spec.cpu == ALIBABA_MACHINE_CPU == 32.0
+        assert spec.mem_gb == ALIBABA_MACHINE_MEM_GB == 64.0
+
+    def test_capacity_vector_order_follows_resources(self):
+        spec = MachineSpec(cpu=8, mem_gb=16, resources=("mem_gb", "cpu"))
+        assert spec.capacity_vector().tolist() == [16.0, 8.0]
+
+    def test_capacity_vector_dtype(self):
+        assert MachineSpec().capacity_vector().dtype == np.float64
+
+    def test_n_dims_counts_resources(self):
+        assert MachineSpec().n_dims == 2
+        assert MachineSpec(resources=("cpu",)).n_dims == 1
+
+
+class TestValidation:
+    @pytest.mark.parametrize("cpu", [0, -1, -32])
+    def test_rejects_nonpositive_cpu(self, cpu):
+        with pytest.raises(ValueError, match="cpu"):
+            MachineSpec(cpu=cpu)
+
+    @pytest.mark.parametrize("mem", [0, -64])
+    def test_rejects_nonpositive_memory(self, mem):
+        with pytest.raises(ValueError, match="mem_gb"):
+            MachineSpec(mem_gb=mem)
+
+    def test_rejects_unknown_resource_dimension(self):
+        with pytest.raises(ValueError, match="unknown resource"):
+            MachineSpec(resources=("cpu", "gpu"))
+
+    def test_rejects_empty_resources(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MachineSpec(resources=())
+
+    def test_spec_is_immutable(self):
+        spec = MachineSpec()
+        with pytest.raises(AttributeError):
+            spec.cpu = 64

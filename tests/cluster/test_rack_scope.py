@@ -1,0 +1,129 @@
+"""Rack-scoped within-app anti-affinity tests.
+
+The flow network's rack layer (``R`` vertices) models the coarser fault
+domain; rack-scoped spreading is the Kubernetes ``topologyKey`` analog
+and our Section-VII-adjacent extension.
+"""
+
+import pytest
+
+from repro import (
+    AladdinScheduler,
+    Application,
+    ClusterState,
+    ConstraintSet,
+    GoKubeScheduler,
+    build_cluster,
+)
+from repro.cluster.constraints import AntiAffinityRule
+from repro.cluster.container import containers_of
+from repro.core import FlowPathSearch
+from repro.core.blacklist import BlacklistFunction
+
+
+def rack_app(n=3, cpu=4.0):
+    return Application(
+        app_id=0, n_containers=n, cpu=cpu, mem_gb=cpu * 2,
+        anti_affinity_within=True, anti_affinity_scope="rack",
+    )
+
+
+def topo_2x4():
+    """Two racks of four machines."""
+    return build_cluster(8, machines_per_rack=4, racks_per_cluster=1)
+
+
+class TestConstraintSet:
+    def test_scope_recorded(self):
+        cs = ConstraintSet.from_applications([rack_app()])
+        assert cs.has_within(0)
+        assert cs.within_scope(0) == "rack"
+
+    def test_default_scope_is_machine(self):
+        app = Application(0, 2, 1.0, 2.0, anti_affinity_within=True)
+        cs = ConstraintSet.from_applications([app])
+        assert cs.within_scope(0) == "machine"
+
+    def test_bad_scope_rejected_on_rule(self):
+        cs = ConstraintSet()
+        with pytest.raises(ValueError, match="scope"):
+            cs.add_rule(AntiAffinityRule(0, 0), scope="datacenter")
+
+    def test_bad_scope_rejected_on_application(self):
+        with pytest.raises(ValueError, match="anti_affinity_scope"):
+            Application(0, 2, 1.0, 2.0, anti_affinity_scope="zone")
+
+
+class TestStateEnforcement:
+    def test_forbidden_mask_covers_whole_rack(self):
+        apps = [rack_app()]
+        state = ClusterState(topo_2x4(), ConstraintSet.from_applications(apps))
+        state.deploy(containers_of(apps)[0], 1)  # rack 0
+        mask = state.forbidden_mask(0)
+        assert mask[:4].all()  # all of rack 0
+        assert not mask[4:].any()  # rack 1 still open
+
+    def test_would_violate_on_rack_mate(self):
+        apps = [rack_app()]
+        cs = containers_of(apps)
+        state = ClusterState(topo_2x4(), ConstraintSet.from_applications(apps))
+        state.deploy(cs[0], 1)
+        assert state.would_violate(cs[1], 2)  # same rack, other machine
+        assert not state.would_violate(cs[1], 5)
+
+    def test_deploy_rejects_rack_mate(self):
+        apps = [rack_app()]
+        cs = containers_of(apps)
+        state = ClusterState(topo_2x4(), ConstraintSet.from_applications(apps))
+        state.deploy(cs[0], 1)
+        with pytest.raises(ValueError, match="anti-affinity"):
+            state.deploy(cs[1], 3)
+
+    def test_violations_counted_per_rack(self):
+        apps = [rack_app()]
+        cs = containers_of(apps)
+        state = ClusterState(topo_2x4(), ConstraintSet.from_applications(apps))
+        state.deploy(cs[0], 1)
+        state.deploy(cs[1], 3, force=True)  # same rack -> 2 violations
+        assert state.anti_affinity_violations() == 2
+
+    def test_blacklist_function_rack_aware(self):
+        apps = [rack_app()]
+        state = ClusterState(topo_2x4(), ConstraintSet.from_applications(apps))
+        state.deploy(containers_of(apps)[0], 1)
+        bf = BlacklistFunction(state)
+        assert not bf.admits(0, 3)  # same rack
+        assert bf.admits(0, 6)  # other rack
+
+
+class TestSchedulers:
+    @pytest.mark.parametrize(
+        "factory", [AladdinScheduler, GoKubeScheduler, FlowPathSearch]
+    )
+    def test_replicas_land_on_distinct_racks(self, factory):
+        apps = [rack_app(n=2)]
+        state = ClusterState(topo_2x4(), ConstraintSet.from_applications(apps))
+        result = factory().schedule(containers_of(apps), state)
+        assert result.n_undeployed == 0
+        racks = {
+            int(state.topology.rack_of[m]) for m in result.placements.values()
+        }
+        assert len(racks) == 2
+        assert state.anti_affinity_violations() == 0
+
+    def test_undeployed_when_racks_exhausted(self):
+        apps = [rack_app(n=3)]  # three replicas, two racks
+        state = ClusterState(topo_2x4(), ConstraintSet.from_applications(apps))
+        result = AladdinScheduler().schedule(containers_of(apps), state)
+        assert result.n_deployed == 2
+        assert result.n_undeployed == 1
+
+    def test_roundtrip_preserves_scope(self, tmp_path):
+        from repro.trace import load_trace, save_trace
+        from repro.trace.schema import Trace, TraceConfig
+
+        trace = Trace(config=TraceConfig(scale=0.01), applications=[rack_app()])
+        save_trace(trace, tmp_path / "t")
+        loaded = load_trace(tmp_path / "t")
+        assert loaded.applications[0].anti_affinity_scope == "rack"
+        assert loaded.constraints.within_scope(0) == "rack"

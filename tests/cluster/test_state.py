@@ -1,0 +1,151 @@
+"""Unit tests for ClusterState — the heart of all schedulers' bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.constraints import AntiAffinityRule, ConstraintSet
+from repro.cluster.container import Container
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import build_cluster
+
+
+def container(cid, app=0, cpu=4.0, prio=0):
+    return Container(
+        container_id=cid, app_id=app, instance=0, cpu=cpu, mem_gb=cpu * 2,
+        priority=prio,
+    )
+
+
+@pytest.fixture
+def state():
+    topo = build_cluster(4)
+    cs = ConstraintSet([AntiAffinityRule(0, 0), AntiAffinityRule(1, 2)])
+    return ClusterState(topo, cs)
+
+
+class TestDeployEvict:
+    def test_deploy_reduces_available(self, state):
+        state.deploy(container(0, cpu=4.0), 1)
+        assert state.available[1].tolist() == [28.0, 56.0]
+        assert state.container_count[1] == 1
+        assert state.assignment[0] == 1
+
+    def test_evict_restores_everything(self, state):
+        c = container(0, cpu=4.0)
+        state.deploy(c, 1)
+        returned = state.evict(0)
+        assert returned == c
+        assert state.available[1].tolist() == [32.0, 64.0]
+        assert state.container_count[1] == 0
+        assert 0 not in state.assignment
+        assert state.machines_hosting(0) == {}
+
+    def test_double_deploy_rejected(self, state):
+        state.deploy(container(0), 1)
+        with pytest.raises(ValueError, match="already deployed"):
+            state.deploy(container(0), 2)
+
+    def test_deploy_beyond_capacity_rejected(self, state):
+        state.deploy(container(0, cpu=30.0), 1)
+        with pytest.raises(ValueError, match="lacks resources"):
+            state.deploy(container(1, cpu=4.0), 1)
+
+    def test_evict_unknown_rejected(self, state):
+        with pytest.raises(KeyError):
+            state.evict(99)
+
+    def test_migrate_moves_atomically(self, state):
+        state.deploy(container(0), 1)
+        state.migrate(0, 3)
+        assert state.assignment[0] == 3
+        assert state.available[1, 0] == 32.0
+        assert state.available[3, 0] == 28.0
+
+
+class TestAntiAffinityBookkeeping:
+    def test_within_app_blacklists_own_machine(self, state):
+        state.deploy(container(0, app=0), 2)  # app 0 has within-AA
+        mask = state.forbidden_mask(0)
+        assert mask[2]
+        assert mask.sum() == 1
+
+    def test_cross_app_blacklist_symmetric(self, state):
+        state.deploy(container(0, app=1), 0)
+        assert state.forbidden_mask(2)[0]
+        assert not state.forbidden_mask(1)[0]  # app 1 has no within rule
+
+    def test_deploy_in_violation_requires_force(self, state):
+        state.deploy(container(0, app=1), 0)
+        with pytest.raises(ValueError, match="anti-affinity"):
+            state.deploy(container(1, app=2), 0)
+        state.deploy(container(1, app=2), 0, force=True)
+        assert state.anti_affinity_violations() == 2
+
+    def test_would_violate(self, state):
+        state.deploy(container(0, app=1), 0)
+        assert state.would_violate(container(1, app=2), 0)
+        assert not state.would_violate(container(1, app=3), 0)
+
+    def test_within_violation_counts_each_container(self, state):
+        state.deploy(container(0, app=0), 0)
+        state.deploy(container(1, app=0), 0, force=True)
+        assert state.anti_affinity_violations() == 2
+
+    def test_violations_clear_after_evict(self, state):
+        state.deploy(container(0, app=1), 0)
+        state.deploy(container(1, app=2), 0, force=True)
+        state.evict(1)
+        assert state.anti_affinity_violations() == 0
+
+
+class TestQueries:
+    def test_feasible_mask_resources_only(self, state):
+        state.deploy(container(0, cpu=30.0), 0)
+        mask = state.feasible_mask(np.array([4.0, 8.0]))
+        assert mask.tolist() == [False, True, True, True]
+
+    def test_feasible_mask_with_anti_affinity(self, state):
+        state.deploy(container(0, app=1), 0)
+        mask = state.feasible_mask(np.array([4.0, 8.0]), app_id=2)
+        assert mask.tolist() == [False, True, True, True]
+
+    def test_used_machines_and_utilization(self, state):
+        state.deploy(container(0, cpu=16.0), 0)
+        state.deploy(container(1, app=3, cpu=8.0), 2)
+        assert state.used_machines() == 2
+        util = state.used_utilization(dim=0)
+        assert sorted(util.tolist()) == [0.25, 0.5]
+
+    def test_snapshot_is_independent(self, state):
+        state.deploy(container(0), 1)
+        snap = state.snapshot()
+        state.deploy(container(1, app=3), 2)
+        assert 1 not in snap.assignment
+        assert snap.available[1, 0] == 28.0
+        snap.evict(0)
+        assert state.assignment[0] == 1
+
+    def test_deployed_containers_listing(self, state):
+        c = container(0)
+        state.deploy(c, 1)
+        assert state.deployed_containers(1) == [c]
+        assert state.deployed_containers(0) == []
+
+
+class TestEventTracking:
+    def test_events_recorded_when_enabled(self):
+        from repro.cluster.events import EventKind
+
+        topo = build_cluster(2)
+        state = ClusterState(topo, track_events=True)
+        state.deploy(container(0), 0)
+        state.migrate(0, 1)
+        state.evict(0)
+        kinds = [e.kind for e in state.events]
+        # migrate() is implemented as evict+deploy plus a MIGRATE record
+        assert kinds.count(EventKind.DEPLOY) == 2
+        assert kinds.count(EventKind.EVICT) == 2
+        assert kinds.count(EventKind.MIGRATE) == 1
+
+    def test_events_disabled_by_default(self, state):
+        assert state.events is None

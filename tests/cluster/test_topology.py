@@ -1,0 +1,76 @@
+"""Unit tests for cluster topology."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.machine import MachineSpec
+from repro.cluster.topology import ClusterSpec, ClusterTopology, build_cluster
+
+
+class TestGrouping:
+    def test_rack_assignment_is_contiguous(self):
+        topo = build_cluster(100, machines_per_rack=40)
+        assert topo.n_racks == 3
+        assert topo.rack_of[0] == 0
+        assert topo.rack_of[39] == 0
+        assert topo.rack_of[40] == 1
+        assert topo.rack_of[99] == 2
+
+    def test_cluster_assignment_groups_racks(self):
+        topo = build_cluster(100, machines_per_rack=10, racks_per_cluster=5)
+        assert topo.n_racks == 10
+        assert topo.n_clusters == 2
+        assert topo.cluster_of[49] == 0
+        assert topo.cluster_of[50] == 1
+
+    def test_full_scale_shape(self):
+        """The paper's 10k-machine cluster: 250 racks, 4 sub-clusters."""
+        topo = build_cluster(10_000, machines_per_rack=40, racks_per_cluster=63)
+        assert topo.n_racks == 250
+        assert topo.n_clusters == 4
+
+    def test_machines_in_rack_roundtrip(self):
+        topo = build_cluster(95, machines_per_rack=40)
+        for rack in range(topo.n_racks):
+            for m in topo.machines_in_rack(rack):
+                assert topo.rack_of[m] == rack
+        # Partial last rack.
+        assert topo.machines_in_rack(2).tolist() == list(range(80, 95))
+
+    def test_racks_in_cluster_roundtrip(self):
+        topo = build_cluster(400, machines_per_rack=10, racks_per_cluster=7)
+        seen = []
+        for g in range(topo.n_clusters):
+            seen.extend(topo.racks_in_cluster(g).tolist())
+        assert seen == list(range(topo.n_racks))
+
+    def test_capacity_matrix_shape_and_values(self):
+        topo = build_cluster(5, machine=MachineSpec(cpu=8, mem_gb=24))
+        assert topo.capacity.shape == (5, 2)
+        assert (topo.capacity == np.array([8.0, 24.0])).all()
+
+
+class TestValidation:
+    def test_rejects_nonpositive_machines(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(n_machines=0)
+
+    def test_rejects_nonpositive_rack_width(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(n_machines=4, machines_per_rack=0)
+
+    def test_rejects_bad_rack_index(self):
+        topo = build_cluster(10)
+        with pytest.raises(IndexError):
+            topo.machines_in_rack(5)
+
+    def test_rejects_bad_cluster_index(self):
+        topo = build_cluster(10)
+        with pytest.raises(IndexError):
+            topo.racks_in_cluster(99)
+
+    def test_accessors(self):
+        topo = build_cluster(6)
+        assert topo.n_machines == 6
+        assert topo.n_dims == 2
+        assert topo.resources == ("cpu", "mem_gb")

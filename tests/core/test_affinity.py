@@ -1,0 +1,104 @@
+"""Soft affinity (co-location preference) tests."""
+
+import pytest
+
+from repro import (
+    AladdinScheduler,
+    Application,
+    ClusterState,
+    ConstraintSet,
+    build_cluster,
+)
+from repro.cluster.container import containers_of
+from repro.core import FlowPathSearch
+
+
+def apps_with_affinity():
+    web = Application(0, 1, 4.0, 8.0, name="web")
+    cache = Application(
+        1, 1, 4.0, 8.0, affinities=frozenset({0}), name="cache"
+    )
+    return [web, cache]
+
+
+class TestModel:
+    def test_affinity_recorded(self):
+        cs = ConstraintSet.from_applications(apps_with_affinity())
+        assert cs.affinities_of(1) == frozenset({0})
+        assert cs.affinities_of(0) == frozenset()
+
+    def test_affinity_conflict_overlap_rejected_on_app(self):
+        with pytest.raises(ValueError, match="both affinities and conflicts"):
+            Application(
+                0, 1, 1.0, 2.0,
+                conflicts=frozenset({1}),
+                affinities=frozenset({1}),
+            )
+
+    def test_self_affinity_rejected(self):
+        cs = ConstraintSet()
+        with pytest.raises(ValueError, match="trivially affine"):
+            cs.add_affinity(3, 3)
+
+    def test_affinity_against_registered_conflict_rejected(self):
+        from repro.cluster.constraints import AntiAffinityRule
+
+        cs = ConstraintSet([AntiAffinityRule(0, 1)])
+        with pytest.raises(ValueError, match="anti-affine"):
+            cs.add_affinity(0, 1)
+
+    def test_affinity_mask(self):
+        apps = apps_with_affinity()
+        state = ClusterState(build_cluster(4), ConstraintSet.from_applications(apps))
+        assert state.affinity_mask(1) is not None
+        state.deploy(containers_of(apps)[0], 2)
+        mask = state.affinity_mask(1)
+        assert mask[2] and mask.sum() == 1
+
+    def test_no_affinity_returns_none(self):
+        state = ClusterState(build_cluster(2))
+        assert state.affinity_mask(0) is None
+
+
+class TestScheduling:
+    def test_affine_container_co_locates(self):
+        """The cache prefers the web's machine even when an emptier or
+        lower-id machine exists."""
+        apps = apps_with_affinity()
+        state = ClusterState(build_cluster(4), ConstraintSet.from_applications(apps))
+        web_c, cache_c = containers_of(apps)
+        state.deploy(web_c, 3)  # deliberately not machine 0
+        result = AladdinScheduler().schedule([cache_c], state)
+        assert result.placements[cache_c.container_id] == 3
+
+    def test_affinity_never_overrides_capacity(self):
+        apps = [
+            Application(0, 1, 30.0, 60.0, name="web"),
+            Application(1, 1, 4.0, 8.0, affinities=frozenset({0})),
+        ]
+        state = ClusterState(build_cluster(2), ConstraintSet.from_applications(apps))
+        web_c, cache_c = containers_of(apps)
+        state.deploy(web_c, 0)  # only 2 CPU left on machine 0
+        result = AladdinScheduler().schedule([cache_c], state)
+        assert result.placements[cache_c.container_id] == 1
+
+    def test_engines_agree_with_affinity(self):
+        apps = apps_with_affinity() + [
+            Application(2, 3, 8.0, 16.0, anti_affinity_within=True),
+        ]
+        placements = []
+        for engine in (AladdinScheduler(), FlowPathSearch()):
+            state = ClusterState(
+                build_cluster(4), ConstraintSet.from_applications(apps)
+            )
+            result = engine.schedule(containers_of(apps), state)
+            placements.append(result.placements)
+        assert placements[0] == placements[1]
+
+    def test_affinity_is_soft_not_required(self):
+        """With the preferred app absent, placement proceeds normally."""
+        apps = apps_with_affinity()
+        state = ClusterState(build_cluster(4), ConstraintSet.from_applications(apps))
+        _, cache_c = containers_of(apps)
+        result = AladdinScheduler().schedule([cache_c], state)
+        assert result.n_deployed == 1

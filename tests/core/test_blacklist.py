@@ -1,0 +1,81 @@
+"""Blacklist function (Equations 7–8) tests."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.constraints import AntiAffinityRule, ConstraintSet
+from repro.cluster.container import Container
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import build_cluster
+from repro.core.blacklist import BlacklistFunction
+
+
+def container(cid, app, cpu=1.0):
+    return Container(container_id=cid, app_id=app, instance=0, cpu=cpu, mem_gb=2.0)
+
+
+def make_state(rules, n_machines=4):
+    return ClusterState(build_cluster(n_machines), ConstraintSet(rules))
+
+
+class TestEquation7:
+    def test_empty_machine_has_empty_blacklist(self):
+        state = make_state([AntiAffinityRule(0, 1)])
+        assert BlacklistFunction(state).blacklist(0) == set()
+
+    def test_cross_conflict_enters_blacklist(self):
+        state = make_state([AntiAffinityRule(0, 1)])
+        state.deploy(container(0, app=0), 2)
+        assert BlacklistFunction(state).blacklist(2) == {1}
+
+    def test_within_app_blacklists_itself(self):
+        state = make_state([AntiAffinityRule(3, 3)])
+        state.deploy(container(0, app=3), 1)
+        assert BlacklistFunction(state).blacklist(1) == {3}
+
+    def test_blacklist_shrinks_after_evict(self):
+        state = make_state([AntiAffinityRule(0, 1)])
+        state.deploy(container(0, app=0), 2)
+        state.evict(0)
+        assert BlacklistFunction(state).blacklist(2) == set()
+
+
+class TestEquation8:
+    def test_admits_unrelated_app(self):
+        state = make_state([AntiAffinityRule(0, 1)])
+        state.deploy(container(0, app=0), 2)
+        bf = BlacklistFunction(state)
+        assert bf.admits(5, 2)
+        assert not bf.admits(1, 2)
+
+    def test_paper_example(self):
+        """Fig. 4: p = {T1, T2, 0}; after T1 -> N1, T2 is blacklisted on N1."""
+        state = make_state([AntiAffinityRule(1, 2)])
+        state.deploy(container(0, app=1), 0)  # T1 -> N1
+        bf = BlacklistFunction(state)
+        assert not bf.admits(2, 0)  # T2 cannot join N1
+        assert bf.admits(2, 1)  # but any other machine is fine
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=6
+    ),
+    st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 3)), max_size=10
+    ),
+    st.integers(0, 4),
+)
+def test_admission_vector_matches_forbidden_mask(rules, deployments, probe_app):
+    """The per-machine Equation 7/8 form and the vectorised
+    ``forbidden_mask`` fast path must agree on every machine."""
+    state = make_state([AntiAffinityRule(a, b) for a, b in rules])
+    for cid, (app, machine) in enumerate(deployments):
+        if state.fits(np.array([1.0, 2.0]), machine):
+            state.deploy(container(cid, app=app), machine, force=True)
+    bf = BlacklistFunction(state)
+    assert (
+        bf.admission_vector(probe_app) == ~state.forbidden_mask(probe_app)
+    ).all()

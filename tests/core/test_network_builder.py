@@ -1,0 +1,83 @@
+"""Layered network construction (Section III.A) tests."""
+
+from repro.cluster.constraints import ConstraintSet
+from repro.cluster.container import Application, containers_of
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import build_cluster
+from repro.core.network_builder import (
+    build_direct_network,
+    build_layered_network,
+)
+
+
+def setup(n_apps=3, n_per_app=2, n_machines=8):
+    apps = [
+        Application(app_id=i, n_containers=n_per_app, cpu=2.0, mem_gb=4.0)
+        for i in range(n_apps)
+    ]
+    containers = containers_of(apps)
+    topo = build_cluster(n_machines, machines_per_rack=4, racks_per_cluster=1)
+    state = ClusterState(topo, ConstraintSet.from_applications(apps))
+    return containers, state
+
+
+class TestLayeredStructure:
+    def test_node_layers_complete(self):
+        containers, state = setup()
+        net = build_layered_network(containers, state)
+        assert len(net.task_node) == 6
+        assert len(net.app_node) == 3
+        assert len(net.cluster_node) == state.topology.n_clusters
+        assert len(net.rack_node) == state.topology.n_racks
+        assert len(net.machine_node) == 8
+
+    def test_edge_count_formula(self):
+        """|T| (s->T) + |T| (T->A) + |A|*|G| + G->R + R->N + |N| (N->t)."""
+        containers, state = setup()
+        net = build_layered_network(containers, state)
+        topo = state.topology
+        expected = (
+            len(containers) * 2
+            + 3 * topo.n_clusters
+            + topo.n_racks
+            + topo.n_machines
+            + topo.n_machines
+        )
+        assert net.n_edges() == expected
+
+    def test_source_edge_capacity_is_demand(self):
+        containers, state = setup()
+        net = build_layered_network(containers, state)
+        e = net.task_edge[containers[0].container_id]
+        assert net.net.edges[e].capacity == 2.0
+
+    def test_machine_edge_capacity_tracks_availability(self):
+        containers, state = setup()
+        state.deploy(containers[0], 3)
+        net = build_layered_network(containers[1:], state)
+        assert net.net.edges[net.machine_edge[3]].capacity == 30.0
+        assert net.net.edges[net.machine_edge[0]].capacity == 32.0
+
+    def test_aggregation_beats_direct_form(self):
+        """Section III.A's point: layered edges << |T|*|N| direct edges."""
+        containers, state = setup(n_apps=5, n_per_app=10, n_machines=40)
+        layered = build_layered_network(containers, state)
+        direct = build_direct_network(containers, state)
+        assert direct.n_edges() > len(containers) * 40
+        assert layered.n_edges() < direct.n_edges() / 5
+
+    def test_machine_of_node_inverse(self):
+        containers, state = setup()
+        net = build_layered_network(containers, state)
+        inv = net.machine_of_node()
+        for machine, node in net.machine_node.items():
+            assert inv[node] == machine
+
+
+class TestDirectStructure:
+    def test_direct_has_no_aggregation_layers(self):
+        containers, state = setup()
+        net = build_direct_network(containers, state)
+        assert net.app_node == {}
+        assert net.rack_node == {}
+        assert net.n_edges() == len(containers) + len(containers) * 8 + 8

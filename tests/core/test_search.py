@@ -1,0 +1,94 @@
+"""FlowPathSearch: the reference flow-network engine.
+
+The key property: on any workload, the literal Algorithm-1 path search
+over the layered network produces exactly the same placements as the
+vectorised production engine, and its accumulated augmenting paths form
+a valid flow.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.constraints import ConstraintSet
+from repro.cluster.container import Application, containers_of
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import build_cluster
+from repro.core import AladdinConfig, AladdinScheduler, FlowPathSearch
+
+
+def run_both(apps, n_machines=6, config=None):
+    config = config or AladdinConfig()
+    results = []
+    for engine_cls in (AladdinScheduler, FlowPathSearch):
+        topo = build_cluster(n_machines, machines_per_rack=3)
+        state = ClusterState(topo, ConstraintSet.from_applications(apps))
+        engine = engine_cls(config)
+        result = engine.schedule(containers_of(apps), state)
+        results.append((engine, result, state))
+    return results
+
+
+class TestEngineEquivalence:
+    def test_simple_workload(self):
+        apps = [
+            Application(0, 3, 4.0, 8.0, anti_affinity_within=True),
+            Application(1, 2, 8.0, 16.0),
+            Application(2, 1, 16.0, 32.0, conflicts=frozenset({1})),
+        ]
+        (_, r_vec, _), (_, r_flow, _) = run_both(apps)
+        assert r_vec.placements == r_flow.placements
+        assert set(r_vec.undeployed) == set(r_flow.undeployed)
+
+    def test_flow_validates(self):
+        apps = [Application(0, 4, 4.0, 8.0, anti_affinity_within=True)]
+        topo = build_cluster(6, machines_per_rack=3)
+        state = ClusterState(topo, ConstraintSet.from_applications(apps))
+        engine = FlowPathSearch()
+        engine.schedule(containers_of(apps), state)
+        engine.validate()  # Equations 1-2 hold on the layered network
+
+    def test_validate_requires_a_run(self):
+        with pytest.raises(RuntimeError):
+            FlowPathSearch().validate()
+
+
+@st.composite
+def workloads(draw):
+    n_apps = draw(st.integers(1, 6))
+    apps = []
+    for i in range(n_apps):
+        conflicts = frozenset(
+            j for j in range(i) if draw(st.booleans()) and draw(st.booleans())
+        )
+        apps.append(
+            Application(
+                app_id=i,
+                n_containers=draw(st.integers(1, 4)),
+                cpu=float(draw(st.sampled_from([1, 2, 4, 8, 16]))),
+                mem_gb=2.0 * draw(st.sampled_from([1, 2, 4, 8, 16])),
+                priority=draw(st.integers(0, 2)),
+                anti_affinity_within=draw(st.booleans()),
+                conflicts=conflicts,
+            )
+        )
+    return apps
+
+
+@settings(max_examples=40, deadline=None)
+@given(workloads())
+def test_engines_agree_on_random_workloads(apps):
+    (_, r_vec, s_vec), (_, r_flow, s_flow) = run_both(apps)
+    assert r_vec.placements == r_flow.placements
+    assert set(r_vec.undeployed) == set(r_flow.undeployed)
+    assert s_vec.anti_affinity_violations() == 0
+    assert s_flow.anti_affinity_violations() == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(workloads())
+def test_flow_engine_never_violates(apps):
+    topo = build_cluster(5, machines_per_rack=5)
+    state = ClusterState(topo, ConstraintSet.from_applications(apps))
+    FlowPathSearch().schedule(containers_of(apps), state)
+    assert state.anti_affinity_violations() == 0

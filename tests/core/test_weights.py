@@ -1,0 +1,90 @@
+"""Priority weight (Equations 3–5) tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.container import Application
+from repro.core.weights import (
+    classify_by_priority,
+    derive_priority_weights,
+    verify_no_inversion,
+    weighted_flow_value,
+)
+
+
+def app(i, cpu, prio):
+    return Application(app_id=i, n_containers=1, cpu=cpu, mem_gb=cpu * 2, priority=prio)
+
+
+class TestClassification:
+    def test_partitions_by_priority(self):
+        apps = [app(0, 1, 0), app(1, 2, 0), app(2, 4, 1)]
+        classes = classify_by_priority(apps)
+        assert sorted(classes) == [0, 1]
+        assert len(classes[0]) == 2
+
+
+class TestDerivation:
+    def test_lowest_class_weight_is_one(self):
+        weights = derive_priority_weights([app(0, 4, 0), app(1, 8, 2)])
+        assert weights[0] == 1.0
+
+    def test_base_floor_matches_paper_setting(self):
+        """Paper: max demand 16 CPUs -> weights 16 with base 16."""
+        apps = [app(0, 16, 0), app(1, 1, 1)]
+        weights = derive_priority_weights(apps, base=16)
+        assert weights[1] >= 16.0
+
+    def test_ratio_exceeds_demand_ratio(self):
+        # prev class max demand 16, next class min demand 1:
+        # ratio must exceed 16 to prevent inversion.
+        apps = [app(0, 16, 0), app(1, 1, 1)]
+        weights = derive_priority_weights(apps, base=1)
+        assert weights[1] * 1 > weights[0] * 16
+
+    def test_chained_classes_monotone(self):
+        apps = [app(i, 2**i, i) for i in range(4)]
+        weights = derive_priority_weights(apps)
+        values = [weights[i] for i in range(4)]
+        assert values == sorted(values)
+        assert verify_no_inversion(weights, apps)
+
+    def test_empty_workload(self):
+        assert derive_priority_weights([]) == {}
+
+    def test_rejects_base_below_one(self):
+        with pytest.raises(ValueError):
+            derive_priority_weights([app(0, 1, 0)], base=0.5)
+
+    def test_sparse_priority_levels(self):
+        apps = [app(0, 4, 0), app(1, 4, 7)]
+        weights = derive_priority_weights(apps)
+        assert set(weights) == {0, 7}
+        assert verify_no_inversion(weights, apps)
+
+
+class TestWeightedFlow:
+    def test_scales_flow(self):
+        assert weighted_flow_value({0: 1.0, 1: 16.0}, 1, 4.0) == 64.0
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(KeyError, match="priority class 9"):
+            weighted_flow_value({0: 1.0}, 9, 1.0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from([1, 2, 4, 8, 16]), st.integers(0, 3)),
+        min_size=1,
+        max_size=12,
+    ),
+    st.sampled_from([1.0, 16.0, 32.0, 64.0, 128.0]),
+)
+def test_no_inversion_for_any_workload_and_base(specs, base):
+    """Equation 5's guarantee holds for every demand mix and any base,
+    including the paper's 16/32/64/128 sweep."""
+    apps = [app(i, cpu, prio) for i, (cpu, prio) in enumerate(specs)]
+    weights = derive_priority_weights(apps, base=base)
+    assert verify_no_inversion(weights, apps)

@@ -1,0 +1,73 @@
+"""Multidimensional capacity (Equation 6) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flownet.capacity import VectorCapacity
+
+
+class TestLinearPart:
+    def test_admits_dominated_demand(self):
+        cap = VectorCapacity([32.0, 64.0])
+        assert cap.admits(np.array([16.0, 32.0]))
+        assert cap.admits(np.array([32.0, 64.0]))
+
+    def test_rejects_any_exceeding_dimension(self):
+        cap = VectorCapacity([32.0, 64.0])
+        assert not cap.admits(np.array([33.0, 1.0]))
+        assert not cap.admits(np.array([1.0, 65.0]))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="dims"):
+            VectorCapacity([32.0]).admits(np.array([1.0, 2.0]))
+
+    def test_consume_and_release(self):
+        cap = VectorCapacity([8.0, 16.0])
+        cap.consume(np.array([3.0, 6.0]))
+        assert cap.values.tolist() == [5.0, 10.0]
+        cap.release(np.array([3.0, 6.0]))
+        assert cap.values.tolist() == [8.0, 16.0]
+
+    def test_consume_beyond_capacity_rejected(self):
+        cap = VectorCapacity([2.0, 2.0])
+        with pytest.raises(ValueError, match="exceeds"):
+            cap.consume(np.array([3.0, 1.0]))
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            VectorCapacity([-1.0, 2.0])
+
+    def test_rejects_empty_tuple(self):
+        with pytest.raises(ValueError):
+            VectorCapacity([])
+
+
+class TestNonlinearPart:
+    def test_predicate_vetoes_admission(self):
+        cap = VectorCapacity([10.0], predicate=lambda d, ctx: ctx == "ok")
+        assert cap.admits(np.array([1.0]), context="ok")
+        assert not cap.admits(np.array([1.0]), context="blocked")
+
+    def test_predicate_only_called_when_linear_passes(self):
+        calls = []
+        cap = VectorCapacity([1.0], predicate=lambda d, ctx: calls.append(1) or True)
+        cap.admits(np.array([5.0]))
+        assert calls == []
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(0.0, 100.0), min_size=1, max_size=4),
+    st.data(),
+)
+def test_admission_is_monotone(values, data):
+    """If demand d is admitted, any d' <= d is admitted too."""
+    cap = VectorCapacity(values)
+    demand = np.array(
+        [data.draw(st.floats(0.0, v)) for v in values], dtype=float
+    )
+    smaller = demand * data.draw(st.floats(0.0, 1.0))
+    assert cap.admits(demand)
+    assert cap.admits(smaller)

@@ -1,0 +1,79 @@
+"""Unit tests for the residual flow-network representation."""
+
+import pytest
+
+from repro.flownet.graph import FlowNetwork
+
+
+class TestConstruction:
+    def test_rejects_empty_graph(self):
+        with pytest.raises(ValueError):
+            FlowNetwork(0)
+
+    def test_add_edge_creates_reverse_pair(self):
+        net = FlowNetwork(2)
+        e = net.add_edge(0, 1, 5.0, cost=2.0)
+        assert net.edges[e].head == 1
+        assert net.edges[e ^ 1].head == 0
+        assert net.edges[e ^ 1].capacity == 0.0
+        assert net.edges[e ^ 1].cost == -2.0
+
+    def test_add_node_grows_graph(self):
+        net = FlowNetwork(1)
+        new = net.add_node()
+        assert new == 1
+        net.add_edge(0, 1, 1.0)
+
+    def test_rejects_out_of_range_nodes(self):
+        net = FlowNetwork(2)
+        with pytest.raises(IndexError):
+            net.add_edge(0, 5, 1.0)
+
+    def test_rejects_negative_capacity(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 1, -1.0)
+
+    def test_n_forward_edges(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 1.0)
+        net.add_edge(1, 2, 1.0)
+        assert net.n_forward_edges() == 2
+        assert len(net.edges) == 4
+
+
+class TestPush:
+    def test_push_updates_residuals(self):
+        net = FlowNetwork(2)
+        e = net.add_edge(0, 1, 10.0)
+        net.push(e, 4.0)
+        assert net.edges[e].residual == 6.0
+        assert net.edges[e ^ 1].residual == 4.0
+        assert net.flow_on(e) == 4.0
+
+    def test_push_back_cancels(self):
+        net = FlowNetwork(2)
+        e = net.add_edge(0, 1, 10.0)
+        net.push(e, 4.0)
+        net.push(e ^ 1, 4.0)
+        assert net.flow_on(e) == 0.0
+
+    def test_push_beyond_residual_rejected(self):
+        net = FlowNetwork(2)
+        e = net.add_edge(0, 1, 3.0)
+        with pytest.raises(ValueError, match="exceeds residual"):
+            net.push(e, 3.5)
+
+    def test_reset_flow(self):
+        net = FlowNetwork(2)
+        e = net.add_edge(0, 1, 3.0)
+        net.push(e, 2.0)
+        net.reset_flow()
+        assert net.flow_on(e) == 0.0
+        assert net.edges[e].residual == 3.0
+
+    def test_out_edges_includes_residual_arcs(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 3.0)
+        assert len(net.out_edges(0)) == 1
+        assert len(net.out_edges(1)) == 1  # the reverse arc

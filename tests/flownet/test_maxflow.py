@@ -1,0 +1,119 @@
+"""Max-flow solvers: hand cases, cross-checks against networkx, properties."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flownet.graph import FlowNetwork
+from repro.flownet.maxflow import dinic, edmonds_karp
+from repro.flownet.validation import validate_flow
+
+SOLVERS = [edmonds_karp, dinic]
+
+
+def diamond():
+    """Classic 4-node diamond with max flow 19."""
+    net = FlowNetwork(4)
+    net.add_edge(0, 1, 10)
+    net.add_edge(0, 2, 10)
+    net.add_edge(1, 3, 9)
+    net.add_edge(2, 3, 10)
+    net.add_edge(1, 2, 5)
+    return net
+
+
+@pytest.mark.parametrize("solver", SOLVERS)
+class TestHandCases:
+    def test_single_edge(self, solver):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 7.0)
+        assert solver(net, 0, 1) == 7.0
+
+    def test_diamond(self, solver):
+        net = diamond()
+        assert solver(net, 0, 3) == 19.0
+        validate_flow(net, 0, 3)
+
+    def test_disconnected_sink(self, solver):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 5.0)
+        assert solver(net, 0, 2) == 0.0
+
+    def test_bottleneck_path(self, solver):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 100)
+        net.add_edge(1, 2, 1)
+        net.add_edge(2, 3, 100)
+        assert solver(net, 0, 3) == 1.0
+
+    def test_parallel_edges_accumulate(self, solver):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 3)
+        net.add_edge(0, 1, 4)
+        assert solver(net, 0, 1) == 7.0
+
+    def test_same_source_sink_rejected(self, solver):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            solver(net, 0, 0)
+
+    def test_bad_endpoint_rejected(self, solver):
+        net = FlowNetwork(2)
+        with pytest.raises(IndexError):
+            solver(net, 0, 9)
+
+
+@st.composite
+def random_networks(draw):
+    """Random DAG-ish graphs with integer capacities."""
+    n = draw(st.integers(3, 8))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 1),
+                st.integers(0, n - 1),
+                st.integers(1, 20),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    return n, [(u, v, c) for u, v, c in edges if u != v]
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_networks())
+def test_solvers_agree_with_networkx(data):
+    n, edges = data
+    if not edges:
+        return
+    for solver in SOLVERS:
+        net = FlowNetwork(n)
+        g = nx.DiGraph()
+        g.add_nodes_from(range(n))
+        for u, v, c in edges:
+            net.add_edge(u, v, float(c))
+            if g.has_edge(u, v):
+                g[u][v]["capacity"] += c
+            else:
+                g.add_edge(u, v, capacity=c)
+        expected = nx.maximum_flow_value(g, 0, n - 1)
+        got = solver(net, 0, n - 1)
+        assert got == pytest.approx(expected)
+        validate_flow(net, 0, n - 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_networks())
+def test_dinic_equals_edmonds_karp(data):
+    n, edges = data
+    if not edges:
+        return
+    values = []
+    for solver in SOLVERS:
+        net = FlowNetwork(n)
+        for u, v, c in edges:
+            net.add_edge(u, v, float(c))
+        values.append(solver(net, 0, n - 1))
+    assert values[0] == pytest.approx(values[1])

@@ -1,0 +1,97 @@
+"""Min-cost max-flow tests with networkx cross-checks."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flownet.graph import FlowNetwork
+from repro.flownet.mincost import min_cost_max_flow
+from repro.flownet.validation import validate_flow
+
+
+class TestHandCases:
+    def test_prefers_cheap_path(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 5, cost=1)
+        net.add_edge(0, 2, 5, cost=10)
+        net.add_edge(1, 3, 5, cost=1)
+        net.add_edge(2, 3, 5, cost=10)
+        res = min_cost_max_flow(net, 0, 3)
+        assert res.flow == 10.0
+        assert res.cost == 5 * 2 + 5 * 20
+        validate_flow(net, 0, 3)
+
+    def test_max_flow_cap(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 10, cost=1)
+        res = min_cost_max_flow(net, 0, 1, max_flow=4)
+        assert res.flow == 4.0
+        assert res.cost == 4.0
+
+    def test_no_path(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 1)
+        res = min_cost_max_flow(net, 0, 2)
+        assert res.flow == 0.0
+        assert res.augmentations == 0
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ValueError):
+            min_cost_max_flow(FlowNetwork(2), 1, 1)
+
+    def test_residual_rerouting(self):
+        """The solver must cancel earlier flow via reverse arcs."""
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 1, cost=1)
+        net.add_edge(0, 2, 1, cost=2)
+        net.add_edge(1, 2, 1, cost=-5)
+        net.add_edge(1, 3, 1, cost=4)
+        net.add_edge(2, 3, 1, cost=1)
+        res = min_cost_max_flow(net, 0, 3)
+        assert res.flow == 2.0
+        validate_flow(net, 0, 3)
+
+
+@st.composite
+def random_cost_networks(draw):
+    n = draw(st.integers(3, 7))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n - 2),  # avoid edges out of the sink
+                st.integers(1, n - 1),
+                st.integers(1, 10),
+                st.integers(0, 9),
+            ),
+            min_size=1,
+            max_size=14,
+        )
+    )
+    return n, [(u, v, c, w) for u, v, c, w in edges if u != v]
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_cost_networks())
+def test_matches_networkx_min_cost_flow(data):
+    n, raw = data
+    # Deduplicate (u, v) pairs: parallel edges with distinct costs have
+    # no aggregated-DiGraph equivalent for the networkx comparison.
+    edges = {}
+    for u, v, c, w in raw:
+        edges.setdefault((u, v), (c, w))
+    if not edges:
+        return
+    net = FlowNetwork(n)
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+    for (u, v), (c, w) in edges.items():
+        net.add_edge(u, v, float(c), cost=float(w))
+        g.add_edge(u, v, capacity=c, weight=w)
+    res = min_cost_max_flow(net, 0, n - 1)
+    expected_flow = nx.maximum_flow_value(g, 0, n - 1)
+    assert res.flow == pytest.approx(expected_flow)
+    if expected_flow:
+        flow_dict = nx.max_flow_min_cost(g, 0, n - 1)
+        assert res.cost == pytest.approx(nx.cost_of_flow(g, flow_dict))
+    validate_flow(net, 0, n - 1)

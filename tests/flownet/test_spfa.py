@@ -1,0 +1,110 @@
+"""SPFA shortest-path tests, including networkx cross-checks."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flownet.graph import FlowNetwork
+from repro.flownet.spfa import extract_path, spfa
+
+
+def line_graph(costs):
+    net = FlowNetwork(len(costs) + 1)
+    for i, c in enumerate(costs):
+        net.add_edge(i, i + 1, 1.0, cost=c)
+    return net
+
+
+class TestHandCases:
+    def test_line_distances(self):
+        net = line_graph([1.0, 2.0, 3.0])
+        dist, _ = spfa(net, 0)
+        assert dist == [0.0, 1.0, 3.0, 6.0]
+
+    def test_prefers_cheaper_path(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 2, 1.0, cost=10.0)
+        net.add_edge(0, 1, 1.0, cost=1.0)
+        net.add_edge(1, 2, 1.0, cost=1.0)
+        dist, parent = spfa(net, 0)
+        assert dist[2] == 2.0
+        path = extract_path(net, parent, 0, 2)
+        assert [net.edges[e].head for e in path] == [1, 2]
+
+    def test_unreachable_is_infinite(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 1.0)
+        dist, parent = spfa(net, 0)
+        assert dist[2] == float("inf")
+        with pytest.raises(ValueError, match="unreachable"):
+            extract_path(net, parent, 0, 2)
+
+    def test_saturated_edges_skipped(self):
+        net = FlowNetwork(2)
+        e = net.add_edge(0, 1, 1.0)
+        net.push(e, 1.0)
+        dist, _ = spfa(net, 0)
+        assert dist[1] == float("inf")
+        dist, _ = spfa(net, 0, skip_saturated=False)
+        assert dist[1] == 0.0
+
+    def test_negative_edges_ok(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 1.0, cost=5.0)
+        net.add_edge(1, 2, 1.0, cost=-3.0)
+        dist, _ = spfa(net, 0)
+        assert dist[2] == 2.0
+
+    def test_negative_cycle_detected(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 1.0, cost=-1.0)
+        net.add_edge(1, 0, 1.0, cost=-1.0)
+        with pytest.raises(ValueError, match="negative-cost cycle"):
+            spfa(net, 0)
+
+    def test_bad_source_rejected(self):
+        with pytest.raises(IndexError):
+            spfa(FlowNetwork(2), 7)
+
+    def test_extract_path_from_source_to_itself(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 1.0)
+        _, parent = spfa(net, 0)
+        assert extract_path(net, parent, 0, 0) == []
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(3, 7).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(
+                    st.integers(0, n - 1),
+                    st.integers(0, n - 1),
+                    st.integers(0, 9),
+                ),
+                min_size=1,
+                max_size=15,
+            ),
+        )
+    )
+)
+def test_matches_networkx_bellman_ford(data):
+    n, raw = data
+    edges = [(u, v, c) for u, v, c in raw if u != v]
+    if not edges:
+        return
+    net = FlowNetwork(n)
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+    for u, v, c in edges:
+        net.add_edge(u, v, 1.0, cost=float(c))
+        # networkx keeps the min-cost parallel edge for comparison
+        if not g.has_edge(u, v) or g[u][v]["weight"] > c:
+            g.add_edge(u, v, weight=c)
+    dist, _ = spfa(net, 0)
+    expected = nx.single_source_bellman_ford_path_length(g, 0, weight="weight")
+    for v in range(n):
+        assert dist[v] == pytest.approx(expected.get(v, float("inf")))

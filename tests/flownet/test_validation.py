@@ -1,0 +1,69 @@
+"""Flow validation (Equations 1–2) tests."""
+
+import pytest
+
+from repro.flownet.graph import FlowNetwork
+from repro.flownet.maxflow import edmonds_karp
+from repro.flownet.validation import (
+    check_capacity_constraints,
+    check_flow_conservation,
+    validate_flow,
+)
+
+
+def path_net():
+    net = FlowNetwork(3)
+    e1 = net.add_edge(0, 1, 5.0)
+    e2 = net.add_edge(1, 2, 5.0)
+    return net, e1, e2
+
+
+class TestCapacityCheck:
+    def test_valid_flow_passes(self):
+        net, e1, e2 = path_net()
+        net.push(e1, 3.0)
+        net.push(e2, 3.0)
+        assert check_capacity_constraints(net) == []
+
+    def test_overflow_detected(self):
+        net, e1, _ = path_net()
+        net.edges[e1].flow = 99.0  # corrupt directly
+        assert any("exceeds capacity" in p for p in check_capacity_constraints(net))
+
+    def test_negative_flow_detected(self):
+        net, e1, _ = path_net()
+        net.edges[e1].flow = -1.0
+        assert any("negative flow" in p for p in check_capacity_constraints(net))
+
+
+class TestConservationCheck:
+    def test_balanced_flow_passes(self):
+        net, e1, e2 = path_net()
+        net.push(e1, 2.0)
+        net.push(e2, 2.0)
+        assert check_flow_conservation(net, 0, 2) == []
+
+    def test_imbalance_detected(self):
+        net, e1, _ = path_net()
+        net.push(e1, 2.0)  # flow enters node 1 but never leaves
+        problems = check_flow_conservation(net, 0, 2)
+        assert len(problems) == 1 and "vertex 1" in problems[0]
+
+    def test_source_sink_exempt(self):
+        net, e1, e2 = path_net()
+        net.push(e1, 5.0)
+        net.push(e2, 5.0)
+        assert check_flow_conservation(net, 0, 2) == []
+
+
+class TestValidateFlow:
+    def test_raises_with_all_problems(self):
+        net, e1, _ = path_net()
+        net.push(e1, 2.0)
+        with pytest.raises(AssertionError, match="invalid flow"):
+            validate_flow(net, 0, 2)
+
+    def test_real_maxflow_always_validates(self):
+        net, _, _ = path_net()
+        edmonds_karp(net, 0, 2)
+        validate_flow(net, 0, 2)

@@ -1,0 +1,81 @@
+"""Simulated Kubernetes API server tests."""
+
+import pytest
+
+from repro.kube.api import Binding, KubeApiServer, Node, Pod, PodPhase
+
+
+def pod(name="p0", app="a", cpu=4.0):
+    return Pod(name=name, app=app, cpu=cpu, mem_gb=cpu * 2)
+
+
+class TestObjects:
+    def test_duplicate_node_rejected(self):
+        api = KubeApiServer()
+        api.add_node(Node("n0", 32, 64))
+        with pytest.raises(ValueError):
+            api.add_node(Node("n0", 32, 64))
+
+    def test_duplicate_pod_rejected(self):
+        api = KubeApiServer()
+        api.create_pod(pod())
+        with pytest.raises(ValueError):
+            api.create_pod(pod())
+
+    def test_phase_filtering(self):
+        api = KubeApiServer()
+        api.add_node(Node("n0", 32, 64))
+        api.create_pod(pod("p0"))
+        api.create_pod(pod("p1"))
+        api.bind(Binding("p0", "n0"))
+        assert [p.name for p in api.pods(PodPhase.PENDING)] == ["p1"]
+        assert [p.name for p in api.pods(PodPhase.SCHEDULED)] == ["p0"]
+
+
+class TestBinding:
+    def test_bind_moves_pod(self):
+        api = KubeApiServer()
+        api.add_node(Node("n0", 32, 64))
+        api.create_pod(pod())
+        api.bind(Binding("p0", "n0"))
+        assert api.pods()[0].node_name == "n0"
+        assert api.bindings == [Binding("p0", "n0")]
+
+    def test_bind_to_unknown_node_rejected(self):
+        api = KubeApiServer()
+        api.create_pod(pod())
+        with pytest.raises(KeyError):
+            api.bind(Binding("p0", "missing"))
+
+    def test_double_bind_rejected(self):
+        api = KubeApiServer()
+        api.add_node(Node("n0", 32, 64))
+        api.create_pod(pod())
+        api.bind(Binding("p0", "n0"))
+        with pytest.raises(ValueError):
+            api.bind(Binding("p0", "n0"))
+
+    def test_fail_pod(self):
+        api = KubeApiServer()
+        api.create_pod(pod())
+        api.fail_pod("p0")
+        assert api.pods()[0].phase is PodPhase.FAILED
+
+
+class TestWatch:
+    def test_watchers_see_events(self):
+        api = KubeApiServer()
+        events = []
+        api.watch(lambda e: events.append(e.kind))
+        api.add_node(Node("n0", 32, 64))
+        api.create_pod(pod())
+        api.bind(Binding("p0", "n0"))
+        assert events == ["ADDED", "ADDED", "MODIFIED"]
+
+    def test_delete_emits_event(self):
+        api = KubeApiServer()
+        api.create_pod(pod())
+        events = []
+        api.watch(lambda e: events.append(e.kind))
+        api.delete_pod("p0")
+        assert events == ["DELETED"]

@@ -1,0 +1,119 @@
+"""EHC / MA / RE pipeline tests (the Fig. 6 co-design architecture)."""
+
+import pytest
+
+from repro.kube.adaptor import ModelAdaptor
+from repro.kube.api import KubeApiServer, Node, Pod, PodPhase
+from repro.kube.ehc import EventsHandlingCenter
+from repro.kube.resolver import SchedulingLoop
+
+
+def cluster(api, n=4, cpu=32.0):
+    for i in range(n):
+        api.add_node(Node(f"node-{i}", cpu=cpu, mem_gb=cpu * 2))
+
+
+class TestEhc:
+    def test_drain_groups_by_app(self):
+        api = KubeApiServer()
+        ehc = EventsHandlingCenter(api)
+        api.create_pod(Pod("a-0", "a", 1, 2))
+        api.create_pod(Pod("b-0", "b", 1, 2))
+        api.create_pod(Pod("a-1", "a", 1, 2))
+        pods, _ = ehc.drain()
+        assert [p.name for p in pods] == ["a-0", "a-1", "b-0"]
+
+    def test_drain_clears_queue(self):
+        api = KubeApiServer()
+        ehc = EventsHandlingCenter(api)
+        api.create_pod(Pod("p", "a", 1, 2))
+        ehc.drain()
+        assert ehc.n_pending == 0
+        assert ehc.drain() == ([], [])
+
+    def test_preexisting_objects_picked_up(self):
+        api = KubeApiServer()
+        cluster(api, 2)
+        api.create_pod(Pod("p", "a", 1, 2))
+        ehc = EventsHandlingCenter(api)  # created after the objects
+        pods, nodes = ehc.drain()
+        assert len(pods) == 1 and len(nodes) == 2
+
+    def test_scheduled_pod_leaves_queue(self):
+        api = KubeApiServer()
+        cluster(api, 1)
+        ehc = EventsHandlingCenter(api)
+        api.create_pod(Pod("p", "a", 1, 2))
+        from repro.kube.api import Binding
+
+        api.bind(Binding("p", "node-0"))
+        assert ehc.n_pending == 0
+
+
+class TestAdaptor:
+    def test_heterogeneous_nodes_supported(self):
+        """Mixed node shapes build a heterogeneous topology (the
+        paper's Section VII future work, implemented here)."""
+        adaptor = ModelAdaptor()
+        adaptor.add_nodes([Node("a", 32, 64), Node("b", 16, 32)])
+        state = adaptor.state()
+        assert state.topology.capacity[0].tolist() == [32.0, 64.0]
+        assert state.topology.capacity[1].tolist() == [16.0, 32.0]
+        assert not state.topology.is_homogeneous
+
+    def test_no_nodes_rejected(self):
+        with pytest.raises(RuntimeError):
+            ModelAdaptor().state()
+
+    def test_anti_affinity_labels_translate(self):
+        adaptor = ModelAdaptor()
+        adaptor.add_nodes([Node("a", 32, 64)])
+        pods = [
+            Pod("w-0", "web", 4, 8, anti_affinity=("web", "db")),
+            Pod("d-0", "db", 4, 8),
+        ]
+        containers = adaptor.to_containers(pods)
+        state = adaptor.state()
+        web, db = containers[0].app_id, containers[1].app_id
+        assert state.constraints.has_within(web)
+        assert state.constraints.violates(web, db)
+
+    def test_container_ids_stable_across_calls(self):
+        adaptor = ModelAdaptor()
+        p = Pod("x", "a", 1, 2)
+        c1 = adaptor.to_containers([p])[0]
+        c2 = adaptor.to_containers([p])[0]
+        assert c1.container_id == c2.container_id
+        assert adaptor.pod_name(c1.container_id) == "x"
+
+
+class TestEndToEnd:
+    def test_anti_affine_pods_on_distinct_nodes(self):
+        api = KubeApiServer()
+        cluster(api, 4)
+        for i in range(3):
+            api.create_pod(Pod(f"w-{i}", "web", 8, 16, anti_affinity=("web",)))
+        loop = SchedulingLoop(api)
+        result = loop.run_once()
+        assert result.n_deployed == 3
+        nodes = {p.node_name for p in api.pods(PodPhase.SCHEDULED)}
+        assert len(nodes) == 3
+
+    def test_unschedulable_pod_marked_failed(self):
+        api = KubeApiServer()
+        cluster(api, 1, cpu=8.0)
+        api.create_pod(Pod("big", "a", 32, 64))
+        loop = SchedulingLoop(api)
+        loop.run_once()
+        assert api.pods()[0].phase is PodPhase.FAILED
+
+    def test_incremental_rounds(self):
+        api = KubeApiServer()
+        cluster(api, 2)
+        loop = SchedulingLoop(api)
+        api.create_pod(Pod("p0", "a", 4, 8))
+        r1 = loop.run_once()
+        api.create_pod(Pod("p1", "b", 4, 8))
+        r2 = loop.run_once()
+        assert r1.n_deployed == 1 and r2.n_deployed == 1
+        assert len(api.bindings) == 2

@@ -1,0 +1,52 @@
+"""Experiments-report generator tests."""
+
+import pytest
+
+from repro import generate_trace
+from repro.report import ExperimentOptions, run_all_experiments
+
+
+@pytest.fixture(scope="module")
+def report():
+    trace = generate_trace(scale=0.02, seed=0)
+    options = ExperimentOptions(include_fig10=False, include_fig12=False)
+    return run_all_experiments(trace, options)
+
+
+class TestReportStructure:
+    def test_all_quick_sections_present(self, report):
+        for section in ("Fig. 8", "Fig. 9", "Fig. 11", "Fig. 13"):
+            assert section in report
+
+    def test_slow_sections_skipped_when_disabled(self, report):
+        assert "Fig. 10" not in report
+        assert "Fig. 12" not in report
+
+    def test_markdown_tables_well_formed(self, report):
+        lines = report.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("|---"):
+                header = lines[i - 1]
+                assert header.count("|") == line.count("|")
+
+    def test_all_schedulers_appear(self, report):
+        for name in ("Go-Kube", "Firmament-TRIVIAL", "Firmament-QUINCY",
+                     "Firmament-OCTOPUS", "Medea", "Aladdin"):
+            assert name in report
+
+    def test_trace_identity_recorded(self, report):
+        assert "scale=0.02" in report
+        assert "seed=0" in report
+
+
+class TestCliIntegration:
+    def test_experiments_command_writes_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        rc = main([
+            "experiments", "--scale", "0.01", "--quick", "--out", str(out)
+        ])
+        assert rc == 0
+        assert out.exists()
+        assert "Fig. 9" in out.read_text()

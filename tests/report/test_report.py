@@ -1,0 +1,47 @@
+"""Report rendering tests."""
+
+from repro.report.figures import format_series, paper_vs_measured
+from repro.report.tables import format_table
+
+
+class TestTables:
+    def test_alignment(self):
+        out = format_table(["a", "long"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert all(len(line) >= 6 for line in lines)
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table I")
+        assert out.splitlines()[0] == "Table I"
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[1.23456]])
+        assert "1.235" in out
+
+    def test_empty_rows(self):
+        out = format_table(["col"], [])
+        assert "col" in out
+
+
+class TestSeries:
+    def test_bars_scale_to_peak(self):
+        out = format_series("s", [("a", 1.0), ("b", 2.0)])
+        lines = out.splitlines()
+        assert lines[0] == "s"
+        bar_a = lines[1].split()[-1]
+        bar_b = lines[2].split()[-1]
+        assert len(bar_b) > len(bar_a)
+
+    def test_empty_series(self):
+        assert "(no data)" in format_series("s", [])
+
+    def test_paper_vs_measured_layout(self):
+        out = paper_vs_measured(
+            [("violations %", 20.0, 18.5), ("machines", 9242, 438)],
+            title="Fig. 9",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Fig. 9"
+        assert "paper" in lines[1] and "measured" in lines[1]
+        assert "20.00" in lines[2] and "18.50" in lines[2]

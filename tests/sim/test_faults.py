@@ -1,0 +1,158 @@
+"""Machine-failure injection and recovery tests."""
+
+import numpy as np
+import pytest
+
+from repro import AladdinScheduler, Application, ClusterState, ConstraintSet, build_cluster
+from repro.cluster.container import containers_of
+from repro.sim.faults import (
+    fail_machines,
+    random_failures,
+    recover,
+    repair_machines,
+)
+
+
+def deployed_state(apps, n_machines=6):
+    state = ClusterState(
+        build_cluster(n_machines), ConstraintSet.from_applications(apps)
+    )
+    result = AladdinScheduler().schedule(containers_of(apps), state)
+    assert result.n_undeployed == 0
+    return state
+
+
+class TestFailMachines:
+    def test_evicts_and_zeroes(self):
+        apps = [Application(0, 4, 8.0, 16.0, anti_affinity_within=True)]
+        state = deployed_state(apps)
+        victim = state.assignment[0]
+        report = fail_machines(state, [victim])
+        assert report.n_displaced == 1
+        assert (state.available[victim] == 0).all()
+        assert 0 not in state.assignment
+
+    def test_blast_radius_per_app(self):
+        apps = [
+            Application(0, 2, 4.0, 8.0),  # stackable: both on one machine
+            Application(1, 2, 4.0, 8.0, anti_affinity_within=True),
+        ]
+        state = deployed_state(apps, n_machines=4)
+        # Fail the machine hosting both replicas of app 0.
+        machine = state.assignment[0]
+        report = fail_machines(state, [machine])
+        assert report.blast_radius.get(0) == 2
+
+    def test_anti_affinity_caps_downtime(self):
+        """The paper's reliability argument: spread replicas mean one
+        failure downs at most 1/n of a within-AA application."""
+        apps = [Application(0, 4, 4.0, 8.0, anti_affinity_within=True)]
+        state = deployed_state(apps)
+        machine = state.assignment[0]
+        report = fail_machines(state, [machine])
+        frac = report.max_app_downtime_fraction({0: 4})
+        assert frac == 0.25
+
+    def test_out_of_range_rejected(self):
+        state = deployed_state([Application(0, 1, 1.0, 2.0)])
+        with pytest.raises(IndexError):
+            fail_machines(state, [99])
+
+
+class TestRecovery:
+    def test_displaced_land_elsewhere(self):
+        apps = [Application(0, 3, 8.0, 16.0, anti_affinity_within=True)]
+        state = deployed_state(apps)
+        machine = state.assignment[0]
+        report = fail_machines(state, [machine])
+        recover(report, state, AladdinScheduler())
+        assert report.recovered == 1
+        assert report.lost == 0
+        new_machine = state.assignment[0]
+        assert new_machine != machine
+        assert state.anti_affinity_violations() == 0
+
+    def test_failed_machine_admits_nothing(self):
+        apps = [Application(0, 2, 8.0, 16.0, anti_affinity_within=True)]
+        state = deployed_state(apps)
+        machine = state.assignment[0]
+        report = fail_machines(state, [machine])
+        recover(report, state, AladdinScheduler())
+        assert state.assignment[0] != machine
+
+    def test_lost_when_cluster_cannot_hold(self):
+        apps = [Application(0, 2, 32.0, 64.0, anti_affinity_within=True)]
+        state = deployed_state(apps, n_machines=2)
+        report = fail_machines(state, [0])
+        recover(report, state, AladdinScheduler())
+        assert report.lost == 1
+
+    def test_recovery_ordered_by_priority(self):
+        apps = [
+            Application(0, 1, 32.0, 64.0, priority=0),
+            Application(1, 1, 32.0, 64.0, priority=3),
+        ]
+        state = deployed_state(apps, n_machines=2)
+        # Fail both machines, then repair only one: the high-priority
+        # container must win the single surviving slot.
+        report = fail_machines(state, [0, 1])
+        repair_machines(state, [0])
+        recover(report, state, AladdinScheduler())
+        assert 1 in state.assignment
+        assert 0 not in state.assignment
+
+
+class TestRepair:
+    def test_repair_restores_capacity(self):
+        apps = [Application(0, 1, 8.0, 16.0)]
+        state = deployed_state(apps)
+        machine = state.assignment[0]
+        report = fail_machines(state, [machine])
+        repair_machines(state, [machine])
+        assert (
+            state.available[machine] == state.topology.capacity[machine]
+        ).all()
+
+    def test_repair_refuses_live_machine(self):
+        apps = [Application(0, 1, 8.0, 16.0)]
+        state = deployed_state(apps)
+        machine = state.assignment[0]
+        with pytest.raises(ValueError, match="hosts containers"):
+            repair_machines(state, [machine])
+
+
+class TestRandomFailures:
+    def test_used_only_selection(self):
+        apps = [Application(0, 2, 8.0, 16.0, anti_affinity_within=True)]
+        state = deployed_state(apps)
+        picks = random_failures(state, 2)
+        assert all(state.container_count[m] > 0 for m in picks)
+
+    def test_deterministic_with_rng(self):
+        apps = [Application(0, 4, 8.0, 16.0, anti_affinity_within=True)]
+        state = deployed_state(apps)
+        a = random_failures(state, 2, rng=np.random.default_rng(5))
+        b = random_failures(state, 2, rng=np.random.default_rng(5))
+        assert a == b
+
+    def test_empty_cluster(self):
+        state = ClusterState(build_cluster(3))
+        assert random_failures(state, 2) == []
+
+
+class TestEndToEndChaos:
+    def test_trace_survives_failure_wave(self, small_trace):
+        """Kill 5 % of used machines on a replayed trace; recovery must
+        re-place nearly everything without violations."""
+        from repro.sim import Simulator
+
+        sim = Simulator(small_trace, machine_pool_factor=1.3)
+        run = sim.run(AladdinScheduler())
+        state = run.state
+        victims = random_failures(
+            state, max(1, state.used_machines() // 20)
+        )
+        report = fail_machines(state, victims)
+        recover(report, state, AladdinScheduler())
+        assert state.anti_affinity_violations() == 0
+        assert report.recovered >= 0.9 * report.n_displaced

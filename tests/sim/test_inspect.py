@@ -1,0 +1,133 @@
+"""Placement-introspection tests."""
+
+import pytest
+
+from repro import (
+    AladdinScheduler,
+    Application,
+    ClusterState,
+    ConstraintSet,
+    GoKubeScheduler,
+    MachineSpec,
+    build_cluster,
+)
+from repro.cluster.container import Container, containers_of
+from repro.sim.inspect import (
+    application_spread,
+    blocking_footprints,
+    fragmentation,
+    packing_quality,
+)
+
+
+def container(cid, app, cpu):
+    return Container(container_id=cid, app_id=app, instance=0, cpu=cpu,
+                     mem_gb=cpu * 2)
+
+
+@pytest.fixture(scope="module")
+def bench_trace():
+    """The comparative diagnostics need benchmark-scale structure; the
+    tiny test trace degenerates (its largest within-AA app alone spans
+    the whole cluster, flattening scheduler differences)."""
+    from repro import generate_trace
+
+    return generate_trace(scale=0.04, seed=0)
+
+
+class TestFragmentation:
+    def test_empty_cluster_nothing_stranded(self):
+        state = ClusterState(build_cluster(4))
+        report = fragmentation(state)
+        assert report.total_free_cpu == 4 * 32
+        assert report.stranded_fraction(16) == 0.0
+        assert report.largest_slot == 32.0
+
+    def test_slivers_strand_large_demands(self):
+        state = ClusterState(build_cluster(2, machine=MachineSpec(cpu=8, mem_gb=16)))
+        state.deploy(container(0, 0, 5.0), 0)
+        state.deploy(container(1, 1, 5.0), 1)
+        report = fragmentation(state, demand_classes=(1, 4, 8))
+        # 3 CPU free on each machine: fine for 1s, stranded for 4s/8s.
+        assert report.stranded_fraction(1) == 0.0
+        assert report.stranded_fraction(4) == 1.0
+        assert report.largest_slot == 3.0
+
+    def test_spreading_fragments_more_than_packing(self, bench_trace):
+        from repro.sim import Simulator
+
+        sim = Simulator(bench_trace, machine_pool_factor=1.2)
+        frag = {}
+        for sched in (AladdinScheduler(), GoKubeScheduler()):
+            r = sim.run(sched)
+            frag[sched.name] = fragmentation(r.state).stranded_fraction(16)
+        assert frag["Go-Kube"] > frag["Aladdin(16)+IL+DL"]
+
+
+class TestSpread:
+    def test_counts_distinct_machines(self):
+        apps = [Application(0, 3, 4.0, 8.0, anti_affinity_within=True),
+                Application(1, 3, 4.0, 8.0)]
+        state = ClusterState(
+            build_cluster(4), ConstraintSet.from_applications(apps)
+        )
+        AladdinScheduler().schedule(containers_of(apps), state)
+        report = application_spread(state)
+        assert report.footprint(0) == 3  # within-AA forces spread
+        assert report.footprint(1) == 1  # stackable app packs
+        assert report.max_spread == 3
+
+    def test_empty_state(self):
+        report = application_spread(ClusterState(build_cluster(2)))
+        assert report.mean_spread == 0.0
+        assert report.max_spread == 0
+
+
+class TestBlocking:
+    def test_blocked_machines_counted(self):
+        apps = [Application(0, 1, 4.0, 8.0, conflicts=frozenset({1})),
+                Application(1, 1, 4.0, 8.0, conflicts=frozenset({0}))]
+        state = ClusterState(
+            build_cluster(4), ConstraintSet.from_applications(apps)
+        )
+        state.deploy(containers_of(apps)[0], 2)
+        report = blocking_footprints(state)
+        assert report.blocked_machines[1] == 1
+        assert report.worst_app == 1
+        assert report.blocked_fraction(1, 4) == 0.25
+
+    def test_packing_blocks_less_than_spreading(self, bench_trace):
+        """The Fig. 9 mechanism, measured directly: the noisy pool's
+        victims see far fewer blocked machines under Aladdin."""
+        from repro.sim import Simulator
+        from repro.trace.arrival import anti_affinity_degree
+
+        degs = sorted(
+            bench_trace.applications,
+            key=lambda a: -anti_affinity_degree(a, bench_trace),
+        )
+        worst_apps = [a.app_id for a in degs[:10]]
+        sim = Simulator(bench_trace, machine_pool_factor=1.2)
+        blocked = {}
+        for sched in (AladdinScheduler(), GoKubeScheduler()):
+            r = sim.run(sched)
+            rep = blocking_footprints(r.state, worst_apps)
+            blocked[sched.name] = sum(rep.blocked_machines.values())
+        assert blocked["Aladdin(16)+IL+DL"] < blocked["Go-Kube"]
+
+
+class TestPackingQuality:
+    def test_perfect_packing(self):
+        state = ClusterState(build_cluster(2))
+        for i in range(8):
+            state.deploy(container(i, i, 4.0), 0)
+        assert packing_quality(state) == 1.0
+
+    def test_spread_penalised(self):
+        state = ClusterState(build_cluster(8))
+        for i in range(8):
+            state.deploy(container(i, i, 4.0), i)
+        assert packing_quality(state) == pytest.approx(1 / 8)
+
+    def test_empty_is_perfect(self):
+        assert packing_quality(ClusterState(build_cluster(2))) == 1.0

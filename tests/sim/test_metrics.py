@@ -1,0 +1,131 @@
+"""Metric derivation tests (Sections V.B–V.D)."""
+
+import pytest
+
+from repro.base import FailureReason, ScheduleResult
+from repro.cluster.container import Container
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import build_cluster
+from repro.sim.metrics import SimulationMetrics, compute_metrics, relative_efficiency
+
+
+def container(cid, app=0, cpu=4.0, prio=0):
+    return Container(
+        container_id=cid, app_id=app, instance=0, cpu=cpu, mem_gb=cpu * 2,
+        priority=prio,
+    )
+
+
+def make_run(placements, undeployed=(), violating=(), n_machines=4):
+    state = ClusterState(build_cluster(n_machines))
+    result = ScheduleResult()
+    containers = []
+    for cid, machine, cpu, prio in placements:
+        c = container(cid, app=cid, cpu=cpu, prio=prio)
+        state.deploy(c, machine)
+        result.placements[cid] = machine
+        containers.append(c)
+    for cid, reason, cpu, prio in undeployed:
+        result.undeployed[cid] = reason
+        containers.append(container(cid, app=cid, cpu=cpu, prio=prio))
+    result.violating = set(violating)
+    return result, state, containers
+
+
+class TestViolationAccounting:
+    def test_violation_pct_combines_undeployed_and_violating(self):
+        result, state, cs = make_run(
+            [(0, 0, 4.0, 0), (1, 1, 4.0, 0)],
+            [(2, FailureReason.RESOURCES, 4.0, 0), (3, FailureReason.ANTI_AFFINITY, 4.0, 0)],
+            violating={1},
+        )
+        m = compute_metrics("x", "trace", result, state, cs)
+        assert m.n_total == 4
+        assert m.violation_pct == pytest.approx(75.0)
+        assert m.undeployed_pct == pytest.approx(50.0)
+
+    def test_anti_affinity_share(self):
+        result, state, cs = make_run(
+            [(0, 0, 4.0, 0)],
+            [(1, FailureReason.ANTI_AFFINITY, 4.0, 0)],
+            violating=set(),
+        )
+        m = compute_metrics("x", "trace", result, state, cs)
+        assert m.anti_affinity_share_pct == 100.0
+
+    def test_priority_inversion_detected(self):
+        """High-priority small container lost while a low-priority big
+        one deployed -> priority violation."""
+        result, state, cs = make_run(
+            [(0, 0, 8.0, 0)],
+            [(1, FailureReason.RESOURCES, 4.0, 2)],
+        )
+        m = compute_metrics("x", "trace", result, state, cs)
+        assert m.priority_violations == 1
+        assert m.resource_failures == 0
+
+    def test_plain_resource_failure(self):
+        result, state, cs = make_run(
+            [(0, 0, 8.0, 2)],
+            [(1, FailureReason.RESOURCES, 16.0, 0)],
+        )
+        m = compute_metrics("x", "trace", result, state, cs)
+        assert m.resource_failures == 1
+        assert m.priority_violations == 0
+
+    def test_preempted_counts_as_priority_violation(self):
+        result, state, cs = make_run(
+            [], [(0, FailureReason.PREEMPTED, 4.0, 0)]
+        )
+        m = compute_metrics("x", "trace", result, state, cs)
+        assert m.priority_violations == 1
+
+    def test_empty_run(self):
+        result, state, cs = make_run([], [])
+        m = compute_metrics("x", "trace", result, state, cs)
+        assert m.violation_pct == 0.0
+        assert m.anti_affinity_share_pct == 0.0
+
+
+class TestEfficiency:
+    def test_utilization_over_used_machines_only(self):
+        result, state, cs = make_run([(0, 0, 16.0, 0), (1, 1, 8.0, 0)])
+        m = compute_metrics("x", "trace", result, state, cs)
+        assert m.used_machines == 2
+        assert m.utilization_min == pytest.approx(0.25)
+        assert m.utilization_max == pytest.approx(0.5)
+
+    def test_relative_efficiency_equation_10(self):
+        def metric(name, used):
+            return SimulationMetrics(
+                scheduler=name, arrival_order="trace", n_total=1, n_deployed=1,
+                n_undeployed=0, n_violating_placements=0, violation_pct=0,
+                undeployed_pct=0, anti_affinity_violations=0,
+                priority_violations=0, resource_failures=0,
+                anti_affinity_share_pct=0, used_machines=used,
+                utilization_min=0, utilization_max=0, utilization_mean=0,
+                migrations=0, preemptions=0, explored=0, latency_total_s=0,
+                latency_per_container_ms=0,
+            )
+
+        eff = relative_efficiency([metric("a", 9242), metric("b", 14211)])
+        assert eff["a"] == 0.0
+        assert eff["b"] == pytest.approx(14211 / 9242 - 1)
+
+    def test_relative_efficiency_empty(self):
+        assert relative_efficiency([]) == {}
+
+
+class TestLatency:
+    def test_per_container_latency_equation_11(self):
+        result, state, cs = make_run([(0, 0, 4.0, 0), (1, 1, 4.0, 0)])
+        result.elapsed_s = 0.5
+        m = compute_metrics("x", "trace", result, state, cs)
+        assert m.latency_per_container_ms == pytest.approx(250.0)
+
+    def test_row_serializes(self):
+        result, state, cs = make_run([(0, 0, 4.0, 0)])
+        m = compute_metrics("x", "chp", result, state, cs)
+        row = m.row()
+        assert row["scheduler"] == "x"
+        assert row["arrival_order"] == "chp"

@@ -1,0 +1,82 @@
+"""Runner tests: sweeps and the minimum-cluster-size search."""
+
+import pytest
+
+from repro import AladdinScheduler, generate_trace
+from repro.base import FailureReason, ScheduleResult, Scheduler
+from repro.sim.runner import latency_sweep, minimum_cluster_size, run_experiment
+from repro.trace.arrival import ArrivalOrder
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(scale=0.01, seed=4)
+
+
+class ThresholdScheduler(Scheduler):
+    """Deploys everything iff the cluster has at least ``threshold``
+    machines — a fast, perfectly monotone probe for the binary search."""
+
+    name = "threshold"
+
+    def __init__(self, threshold: int) -> None:
+        self.threshold = threshold
+
+    def schedule(self, containers, state):
+        result = ScheduleResult()
+        if state.n_machines >= self.threshold:
+            for i, c in enumerate(containers):
+                machine = i % state.n_machines
+                if state.fits(c.demand_vector(state.topology.resources), machine):
+                    state.deploy(c, machine, force=True)
+                    result.placements[c.container_id] = machine
+                else:
+                    result.undeployed[c.container_id] = FailureReason.RESOURCES
+        else:
+            for c in containers:
+                result.undeployed[c.container_id] = FailureReason.RESOURCES
+        return result
+
+
+class TestMinimumClusterSize:
+    def test_finds_threshold(self, trace):
+        # Threshold chosen comfortably above the CPU lower bound so the
+        # mod-spread placement always fits.
+        threshold = 3 * trace.config.n_machines
+        n = minimum_cluster_size(
+            trace, lambda: ThresholdScheduler(threshold), tolerance=0.0
+        )
+        assert n == threshold
+
+    def test_tolerance_bounds_result(self, trace):
+        threshold = 2 * trace.config.n_machines
+        n = minimum_cluster_size(
+            trace, lambda: ThresholdScheduler(threshold), tolerance=0.1
+        )
+        assert threshold <= n <= round(threshold * 1.12) + 1
+
+    def test_returns_hi_when_impossible(self, trace):
+        n = minimum_cluster_size(
+            trace, lambda: ThresholdScheduler(10**9), lo=10, hi=20
+        )
+        assert n == 20
+
+    def test_aladdin_near_lower_bound(self, trace):
+        total_cpu = sum(a.cpu * a.n_containers for a in trace.applications)
+        lb = total_cpu / 32
+        n = minimum_cluster_size(trace, AladdinScheduler)
+        assert n >= lb * 0.99
+        assert n <= 2.0 * lb  # packing stays near the bound
+
+
+class TestSweeps:
+    def test_latency_sweep_points(self, trace):
+        ns = [trace.config.n_machines, 2 * trace.config.n_machines]
+        results = latency_sweep(trace, AladdinScheduler, ns)
+        assert [r.state.n_machines for r in results] == ns
+
+    def test_run_experiment_order_labels(self, trace):
+        results = run_experiment(
+            trace, [AladdinScheduler()], orders=[ArrivalOrder.CLA]
+        )
+        assert results[0].metrics.arrival_order == "cla"

@@ -1,0 +1,91 @@
+"""Simulator and runner tests."""
+
+import pytest
+
+from repro import (
+    AladdinScheduler,
+    ArrivalOrder,
+    GoKubeScheduler,
+    Simulator,
+    generate_trace,
+)
+from repro.base import ScheduleResult, Scheduler
+from repro.sim.results import dump_metrics
+from repro.sim.runner import latency_sweep, run_experiment
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(scale=0.02, seed=2)
+
+
+class TestSimulator:
+    def test_default_cluster_size_from_trace(self, trace):
+        sim = Simulator(trace)
+        assert sim.n_machines == trace.config.n_machines
+
+    def test_pool_factor_enlarges(self, trace):
+        sim = Simulator(trace, machine_pool_factor=1.5)
+        assert sim.n_machines == round(trace.config.n_machines * 1.5)
+
+    def test_pool_factor_below_one_rejected(self, trace):
+        with pytest.raises(ValueError):
+            Simulator(trace, machine_pool_factor=0.5)
+
+    def test_run_produces_metrics(self, trace):
+        result = Simulator(trace).run(AladdinScheduler())
+        m = result.metrics
+        assert m.n_total == trace.n_containers
+        assert m.scheduler.startswith("Aladdin")
+        assert m.latency_total_s > 0
+
+    def test_each_run_gets_fresh_state(self, trace):
+        sim = Simulator(trace)
+        r1 = sim.run(AladdinScheduler())
+        r2 = sim.run(AladdinScheduler())
+        assert r1.metrics.n_deployed == r2.metrics.n_deployed
+        assert r1.state is not r2.state
+
+    def test_divergent_scheduler_detected(self, trace):
+        class Liar(Scheduler):
+            name = "liar"
+
+            def schedule(self, containers, state):
+                result = ScheduleResult()
+                result.placements[containers[0].container_id] = 0  # never deployed
+                return result
+
+        with pytest.raises(AssertionError, match="divergence"):
+            Simulator(trace).run(Liar())
+
+    def test_summary_line(self, trace):
+        result = Simulator(trace).run(AladdinScheduler())
+        text = result.summary()
+        assert "machines=" in text and "violations=" in text
+
+
+class TestRunner:
+    def test_grid_runs_every_pair(self, trace):
+        results = run_experiment(
+            trace,
+            [AladdinScheduler(), GoKubeScheduler()],
+            orders=[ArrivalOrder.TRACE, ArrivalOrder.CHP],
+        )
+        assert len(results) == 4
+        seen = {(r.metrics.scheduler, r.metrics.arrival_order) for r in results}
+        assert len(seen) == 4
+
+    def test_latency_sweep_uses_fresh_schedulers(self, trace):
+        counts = [20, 40]
+        results = latency_sweep(trace, AladdinScheduler, counts)
+        assert len(results) == 2
+        assert [r.state.n_machines for r in results] == counts
+
+    def test_dump_metrics_jsonl(self, trace, tmp_path):
+        results = run_experiment(trace, [AladdinScheduler()])
+        path = dump_metrics(results, tmp_path / "out.jsonl")
+        import json
+
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(rows) == 1
+        assert rows[0]["n_total"] == trace.n_containers

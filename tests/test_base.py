@@ -1,0 +1,58 @@
+"""Tests for the shared scheduler interface types."""
+
+import pytest
+
+from repro.base import FailureReason, ScheduleResult
+
+
+class TestScheduleResult:
+    def test_counts(self):
+        r = ScheduleResult()
+        r.placements = {0: 1, 1: 2}
+        r.undeployed = {2: FailureReason.RESOURCES}
+        assert r.n_deployed == 2
+        assert r.n_undeployed == 1
+        assert r.n_total == 3
+
+    def test_merge_accumulates(self):
+        a = ScheduleResult()
+        a.placements = {0: 1}
+        a.migrations = 2
+        a.elapsed_s = 0.5
+        b = ScheduleResult()
+        b.placements = {1: 3}
+        b.undeployed = {2: FailureReason.ANTI_AFFINITY}
+        b.violating = {1}
+        b.migrations = 1
+        b.preemptions = 4
+        b.explored = 10
+        b.elapsed_s = 0.25
+        a.merge(b)
+        assert a.placements == {0: 1, 1: 3}
+        assert a.undeployed == {2: FailureReason.ANTI_AFFINITY}
+        assert a.violating == {1}
+        assert a.migrations == 3
+        assert a.preemptions == 4
+        assert a.explored == 10
+        assert a.elapsed_s == 0.75
+
+    def test_merge_rejects_double_scheduling(self):
+        a = ScheduleResult()
+        a.placements = {0: 1}
+        b = ScheduleResult()
+        b.placements = {0: 2}
+        with pytest.raises(ValueError, match="scheduled twice"):
+            a.merge(b)
+
+    def test_empty_result(self):
+        r = ScheduleResult()
+        assert r.n_total == 0
+        assert r.n_deployed == 0
+
+
+class TestFailureReason:
+    def test_values_are_stable(self):
+        """Reason strings are part of the result-dump format."""
+        assert FailureReason.ANTI_AFFINITY.value == "anti_affinity"
+        assert FailureReason.RESOURCES.value == "resources"
+        assert FailureReason.PREEMPTED.value == "preempted"

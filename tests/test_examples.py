@@ -1,0 +1,38 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["0.01"]),
+    ("figure1_motivation.py", []),
+    ("migration_scenarios.py", []),
+    ("black_friday_scaleout.py", []),
+    ("trace_replay.py", ["0.01"]),
+    ("kubernetes_codesign.py", []),
+    ("online_churn.py", ["0.01", "15"]),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_are_covered():
+    """Every script in examples/ has a smoke test."""
+    shipped = {p.name for p in EXAMPLES.glob("*.py")}
+    tested = {script for script, _ in CASES}
+    assert shipped == tested

@@ -1,0 +1,117 @@
+"""Integration of the extension features, combined.
+
+Gang placement, rack-scoped spreading, soft affinity and heterogeneous
+machine shapes all in one workload: the combinations must compose
+without violating any hard constraint.
+"""
+
+import pytest
+
+from repro import (
+    AladdinConfig,
+    AladdinScheduler,
+    Application,
+    ClusterState,
+    ConstraintSet,
+    MachineSpec,
+    build_heterogeneous_cluster,
+)
+from repro.cluster.container import containers_of
+from repro.sim.faults import fail_machines, recover
+
+
+def workload():
+    return [
+        # rack-spread storage tier
+        Application(0, 2, 8.0, 16.0, anti_affinity_within=True,
+                    anti_affinity_scope="rack", name="storage"),
+        # machine-spread web tier, anti-affine to batch
+        Application(1, 3, 4.0, 8.0, anti_affinity_within=True,
+                    conflicts=frozenset({3}), name="web"),
+        # cache prefers web's machines
+        Application(2, 2, 2.0, 4.0, affinities=frozenset({1}), name="cache"),
+        # noisy batch tier
+        Application(3, 6, 1.0, 2.0, conflicts=frozenset({1}), name="batch"),
+    ]
+
+
+def mixed_state(apps):
+    topo = build_heterogeneous_cluster(
+        [
+            (4, MachineSpec(cpu=16.0, mem_gb=32.0)),
+            (2, MachineSpec(cpu=64.0, mem_gb=128.0)),
+        ],
+        machines_per_rack=3,
+    )
+    return ClusterState(topo, ConstraintSet.from_applications(apps))
+
+
+class TestCombinedExtensions:
+    def test_all_constraints_hold_together(self):
+        apps = workload()
+        state = mixed_state(apps)
+        result = AladdinScheduler().schedule(containers_of(apps), state)
+        assert result.n_undeployed == 0
+        assert state.anti_affinity_violations() == 0
+        # storage replicas on distinct racks
+        storage = [
+            m for cid, m in result.placements.items()
+            if state.container(cid).app_id == 0
+        ]
+        racks = {int(state.topology.rack_of[m]) for m in storage}
+        assert len(racks) == 2
+        # web replicas on distinct machines, never with batch
+        web_machines = [
+            m for cid, m in result.placements.items()
+            if state.container(cid).app_id == 1
+        ]
+        assert len(set(web_machines)) == 3
+        batch_machines = {
+            m for cid, m in result.placements.items()
+            if state.container(cid).app_id == 3
+        }
+        assert not (set(web_machines) & batch_machines)
+
+    def test_cache_lands_near_web(self):
+        apps = workload()
+        state = mixed_state(apps)
+        result = AladdinScheduler().schedule(containers_of(apps), state)
+        web_machines = {
+            m for cid, m in result.placements.items()
+            if state.container(cid).app_id == 1
+        }
+        cache_machines = [
+            m for cid, m in result.placements.items()
+            if state.container(cid).app_id == 2
+        ]
+        # At least one cache replica co-locates with a web replica
+        # (affinity is soft; capacity can push the second elsewhere).
+        assert any(m in web_machines for m in cache_machines)
+
+    def test_gang_mode_on_combined_workload(self):
+        apps = workload()
+        state = mixed_state(apps)
+        cfg = AladdinConfig(gang_scheduling=True)
+        result = AladdinScheduler(cfg).schedule(containers_of(apps), state)
+        # Gangs either fully place or fully roll back, per app.
+        per_app: dict[int, int] = {}
+        for cid in result.placements:
+            app = state.container(cid).app_id
+            per_app[app] = per_app.get(app, 0) + 1
+        for app_id, placed in per_app.items():
+            assert placed == apps[app_id].n_containers
+
+    def test_failure_recovery_respects_all_constraints(self):
+        apps = workload()
+        state = mixed_state(apps)
+        result = AladdinScheduler().schedule(containers_of(apps), state)
+        assert result.n_undeployed == 0
+        # Kill the machine hosting the first storage replica.
+        victim = result.placements[0]
+        report = fail_machines(state, [victim])
+        recover(report, state, AladdinScheduler())
+        assert state.anti_affinity_violations() == 0
+        if 0 in state.assignment:  # re-placed: must be on the other rack
+            new_rack = int(state.topology.rack_of[state.assignment[0]])
+            sibling_rack = int(state.topology.rack_of[state.assignment[1]])
+            assert new_rack != sibling_rack

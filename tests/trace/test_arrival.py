@@ -1,0 +1,83 @@
+"""Arrival ordering (CHP/CLP/CLA/CSA) tests."""
+
+import pytest
+
+from repro.trace import ArrivalOrder, generate_trace, order_containers
+from repro.trace.arrival import anti_affinity_degree, order_applications
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(scale=0.02, seed=1)
+
+
+class TestOrderings:
+    @pytest.mark.parametrize("order", list(ArrivalOrder))
+    def test_every_order_is_a_permutation(self, trace, order):
+        containers = order_containers(trace, order)
+        assert len(containers) == trace.n_containers
+        assert {c.container_id for c in containers} == {
+            c.container_id for c in trace.containers
+        }
+
+    @pytest.mark.parametrize("order", list(ArrivalOrder))
+    def test_app_blocks_stay_contiguous(self, trace, order):
+        containers = order_containers(trace, order)
+        seen = set()
+        current = None
+        for c in containers:
+            if c.app_id != current:
+                assert c.app_id not in seen, "app block split"
+                seen.add(c.app_id)
+                current = c.app_id
+
+    def test_chp_descending_priority(self, trace):
+        apps = order_applications(trace, ArrivalOrder.CHP)
+        priorities = [a.priority for a in apps]
+        assert priorities == sorted(priorities, reverse=True)
+
+    def test_clp_ascending_priority(self, trace):
+        apps = order_applications(trace, ArrivalOrder.CLP)
+        priorities = [a.priority for a in apps]
+        assert priorities == sorted(priorities)
+
+    def test_cla_descending_degree(self, trace):
+        apps = order_applications(trace, ArrivalOrder.CLA)
+        degrees = [anti_affinity_degree(a, trace) for a in apps]
+        assert degrees == sorted(degrees, reverse=True)
+
+    def test_csa_ascending_degree(self, trace):
+        apps = order_applications(trace, ArrivalOrder.CSA)
+        degrees = [anti_affinity_degree(a, trace) for a in apps]
+        assert degrees == sorted(degrees)
+
+    def test_trace_order_is_identity(self, trace):
+        apps = order_applications(trace, ArrivalOrder.TRACE)
+        assert [a.app_id for a in apps] == list(range(trace.n_apps))
+
+    def test_orderings_are_stable(self, trace):
+        """Equal keys preserve trace order (deterministic replays)."""
+        apps = order_applications(trace, ArrivalOrder.CLP)
+        zero = [a.app_id for a in apps if a.priority == 0]
+        assert zero == sorted(zero)
+
+
+class TestDegree:
+    def test_within_counts_siblings(self, trace):
+        for a in trace.applications:
+            if a.anti_affinity_within and not a.conflicts:
+                assert anti_affinity_degree(a, trace) == a.n_containers - 1
+                break
+        else:
+            pytest.skip("no within-only app in this trace")
+
+    def test_cross_counts_partner_containers(self, trace):
+        for a in trace.applications:
+            if a.conflicts and not a.anti_affinity_within:
+                expected = sum(
+                    trace.app(b).n_containers for b in a.conflicts
+                )
+                assert anti_affinity_degree(a, trace) == expected
+                break
+        else:
+            pytest.skip("no cross-only app in this trace")

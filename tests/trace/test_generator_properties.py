@@ -1,0 +1,88 @@
+"""Property-based tests for the trace generator.
+
+The generator's calibration invariants must hold for *any* valid
+configuration, not just the defaults the benchmarks use.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import TraceConfig, generate_trace, workload_stats
+from repro.trace.arrival import anti_affinity_degree
+
+
+@st.composite
+def configs(draw):
+    return TraceConfig(
+        scale=draw(st.sampled_from([0.005, 0.01, 0.02, 0.03])),
+        seed=draw(st.integers(0, 50)),
+        frac_single=draw(st.sampled_from([0.5, 0.64, 0.7])),
+        frac_anti_affinity=draw(st.sampled_from([0.5, 0.72])),
+        frac_priority=draw(st.sampled_from([0.1, 0.16, 0.3])),
+        noisy_container_frac=draw(st.sampled_from([0.3, 0.45])),
+        victim_container_frac=draw(st.sampled_from([0.15, 0.22])),
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(configs())
+def test_container_total_always_pinned(config):
+    trace = generate_trace(config)
+    assert trace.n_containers == config.target_containers
+    assert trace.n_apps == config.n_apps
+
+
+@settings(max_examples=20, deadline=None)
+@given(configs())
+def test_constraint_counts_track_config(config):
+    trace = generate_trace(config)
+    stats = workload_stats(trace)
+    expected_aa = round(config.frac_anti_affinity * config.n_apps)
+    expected_prio = round(config.frac_priority * config.n_apps)
+    assert abs(stats.n_anti_affinity_apps - expected_aa) <= max(
+        2, 0.02 * config.n_apps
+    )
+    assert abs(stats.n_priority_apps - expected_prio) <= 2
+
+
+@settings(max_examples=20, deadline=None)
+@given(configs())
+def test_demands_within_paper_bounds(config):
+    trace = generate_trace(config)
+    for app in trace.applications:
+        assert 1.0 <= app.cpu <= 16.0
+        assert app.mem_gb <= 32.0
+        assert app.n_containers >= 1
+        assert app.priority >= 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(configs())
+def test_total_demand_below_cluster_capacity(config):
+    """A trace must be schedulable in principle on its nominal cluster."""
+    trace = generate_trace(config)
+    total_cpu = sum(a.cpu * a.n_containers for a in trace.applications)
+    assert total_cpu <= 32 * config.n_machines * 1.02
+
+
+@settings(max_examples=15, deadline=None)
+@given(configs())
+def test_conflict_graph_symmetric_and_irreflexive(config):
+    trace = generate_trace(config)
+    for app in trace.applications:
+        assert app.app_id not in app.conflicts
+        for other in app.conflicts:
+            assert app.app_id in trace.app(other).conflicts
+
+
+@settings(max_examples=15, deadline=None)
+@given(configs())
+def test_within_aa_never_wider_than_cluster(config):
+    """No within-AA app may need more machines than the cluster has —
+    the generator must not produce structurally unschedulable traces."""
+    trace = generate_trace(config)
+    for app in trace.applications:
+        if app.anti_affinity_within:
+            assert app.n_containers <= config.n_machines

@@ -1,0 +1,63 @@
+"""CSV round-trip tests."""
+
+import pytest
+
+from repro.trace import generate_trace, load_trace, save_trace, workload_stats
+
+
+class TestRoundTrip:
+    def test_trace_survives_roundtrip(self, tmp_path):
+        original = generate_trace(scale=0.02, seed=5)
+        save_trace(original, tmp_path / "trace")
+        loaded = load_trace(tmp_path / "trace")
+        assert loaded.n_apps == original.n_apps
+        assert loaded.n_containers == original.n_containers
+        for a, b in zip(original.applications, loaded.applications):
+            assert (a.app_id, a.n_containers, a.cpu, a.mem_gb) == (
+                b.app_id,
+                b.n_containers,
+                b.cpu,
+                b.mem_gb,
+            )
+            assert a.priority == b.priority
+            assert a.anti_affinity_within == b.anti_affinity_within
+            assert a.conflicts == b.conflicts
+
+    def test_stats_identical_after_roundtrip(self, tmp_path):
+        original = generate_trace(scale=0.02, seed=5)
+        save_trace(original, tmp_path / "t")
+        loaded = load_trace(tmp_path / "t")
+        assert workload_stats(loaded) == workload_stats(original)
+
+    def test_save_returns_both_paths(self, tmp_path):
+        trace = generate_trace(scale=0.02, seed=0)
+        apps_path, conflicts_path = save_trace(trace, tmp_path / "x")
+        assert apps_path.exists() and conflicts_path.exists()
+        assert apps_path.suffix == ".csv"
+
+    def test_load_rejects_sparse_ids(self, tmp_path):
+        trace = generate_trace(scale=0.02, seed=0)
+        apps_path, _ = save_trace(trace, tmp_path / "bad")
+        lines = apps_path.read_text().splitlines()
+        del lines[1]  # drop app 0
+        apps_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="dense"):
+            load_trace(tmp_path / "bad")
+
+
+class TestExtendedFields:
+    def test_scope_and_affinities_roundtrip(self, tmp_path):
+        from repro.cluster.container import Application
+        from repro.trace.schema import Trace, TraceConfig
+
+        apps = [
+            Application(0, 2, 4.0, 8.0, anti_affinity_within=True,
+                        anti_affinity_scope="rack"),
+            Application(1, 1, 2.0, 4.0, affinities=frozenset({0})),
+        ]
+        trace = Trace(config=TraceConfig(scale=0.01), applications=apps)
+        save_trace(trace, tmp_path / "x")
+        loaded = load_trace(tmp_path / "x")
+        assert loaded.applications[0].anti_affinity_scope == "rack"
+        assert loaded.applications[1].affinities == frozenset({0})
+        assert loaded.constraints.affinities_of(1) == frozenset({0})

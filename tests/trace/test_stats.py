@@ -1,0 +1,61 @@
+"""Workload statistics (Fig. 8) tests."""
+
+from repro.cluster.container import Application
+from repro.trace.schema import Trace, TraceConfig
+from repro.trace.stats import container_count_cdf, workload_stats
+
+
+def tiny_trace():
+    apps = [
+        Application(0, 1, 1.0, 2.0),
+        Application(1, 1, 2.0, 4.0, anti_affinity_within=False,
+                    conflicts=frozenset({2})),
+        Application(2, 10, 4.0, 8.0, priority=1, anti_affinity_within=True,
+                    conflicts=frozenset({1})),
+        Application(3, 60, 1.0, 2.0),
+    ]
+    return Trace(config=TraceConfig(scale=0.01), applications=apps)
+
+
+class TestStats:
+    def test_counts(self):
+        s = workload_stats(tiny_trace())
+        assert s.n_apps == 4
+        assert s.n_containers == 72
+        assert s.n_anti_affinity_apps == 2
+        assert s.n_priority_apps == 1
+
+    def test_fractions(self):
+        s = workload_stats(tiny_trace())
+        assert s.frac_single_instance == 0.5
+        assert s.frac_lt_50_containers == 0.75
+
+    def test_weighted_mean_cpu(self):
+        s = workload_stats(tiny_trace())
+        expected = (1 + 2 + 10 * 4 + 60 * 1) / 72
+        assert abs(s.mean_cpu_demand - expected) < 1e-9
+
+    def test_degree(self):
+        s = workload_stats(tiny_trace())
+        # app 2: within (9 siblings) + app 1 (1 container) = 10
+        assert s.max_anti_affinity_degree == 10
+
+    def test_as_rows_complete(self):
+        rows = workload_stats(tiny_trace()).as_rows()
+        names = [r[0] for r in rows]
+        assert "total applications" in names
+        assert len(rows) == 11
+
+
+class TestCdf:
+    def test_cdf_monotone_and_bounded(self):
+        cdf = container_count_cdf(tiny_trace())
+        values = [v for _, v in cdf]
+        assert values == sorted(values)
+        assert values[-1] == 1.0
+
+    def test_cdf_at_explicit_points(self):
+        cdf = dict(container_count_cdf(tiny_trace(), points=[1, 10, 60]))
+        assert cdf[1] == 0.5
+        assert cdf[10] == 0.75
+        assert cdf[60] == 1.0
