@@ -21,6 +21,7 @@ Quickstart::
 """
 
 from repro.base import FailureReason, ScheduleResult, Scheduler
+from repro.telemetry import SchedulerTelemetry
 from repro.cluster import (
     Application,
     ClusterSpec,
@@ -32,7 +33,12 @@ from repro.cluster import (
     build_cluster,
     build_heterogeneous_cluster,
 )
-from repro.core import AladdinConfig, AladdinScheduler, FlowPathSearch
+from repro.core import (
+    AladdinConfig,
+    AladdinScheduler,
+    FeasibilityCache,
+    FlowPathSearch,
+)
 from repro.baselines import (
     SCHEDULERS,
     FirmamentPolicy,
@@ -50,6 +56,7 @@ from repro.sim import (
     minimum_cluster_size,
     relative_efficiency,
     run_experiment,
+    run_online,
 )
 from repro.trace import (
     ArrivalOrder,
@@ -79,7 +86,9 @@ __all__ = [
     "build_heterogeneous_cluster",
     "AladdinConfig",
     "AladdinScheduler",
+    "FeasibilityCache",
     "FlowPathSearch",
+    "SchedulerTelemetry",
     "SCHEDULERS",
     "FirmamentPolicy",
     "FirmamentScheduler",
@@ -94,6 +103,7 @@ __all__ = [
     "minimum_cluster_size",
     "relative_efficiency",
     "run_experiment",
+    "run_online",
     "ArrivalOrder",
     "Trace",
     "TraceConfig",

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.cluster.container import Container
 from repro.cluster.state import ClusterState
+from repro.telemetry import SchedulerTelemetry
 
 
 class FailureReason(enum.Enum):
@@ -50,6 +51,9 @@ class ScheduleResult:
     explored: int = 0
     #: scheduler-reported wall-clock seconds spent inside schedule()
     elapsed_s: float = 0.0
+    #: counters and phase timings collected during schedule(); ``None``
+    #: for schedulers that predate the telemetry layer
+    telemetry: SchedulerTelemetry | None = None
 
     @property
     def n_deployed(self) -> int:
@@ -75,6 +79,10 @@ class ScheduleResult:
         self.preemptions += other.preemptions
         self.explored += other.explored
         self.elapsed_s += other.elapsed_s
+        if other.telemetry is not None:
+            if self.telemetry is None:
+                self.telemetry = SchedulerTelemetry()
+            self.telemetry.merge(other.telemetry)
 
 
 class Scheduler(abc.ABC):

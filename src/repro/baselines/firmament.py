@@ -29,6 +29,7 @@ from collections import deque
 
 import numpy as np
 
+from repro import telemetry
 from repro.base import FailureReason, ScheduleResult, Scheduler
 from repro.baselines.firmament_policies import FirmamentPolicy, machine_costs
 from repro.cluster.container import Container
@@ -62,7 +63,18 @@ class FirmamentScheduler(Scheduler):
     ) -> ScheduleResult:
         t0 = time.perf_counter()
         result = ScheduleResult()
+        result.telemetry = telemetry.SchedulerTelemetry()
+        with telemetry.collect(result.telemetry):
+            self._schedule(containers, state, result)
+        result.elapsed_s = time.perf_counter() - t0
+        return result
 
+    def _schedule(
+        self,
+        containers: list[Container],
+        state: ClusterState,
+        result: ScheduleResult,
+    ) -> None:
         # Round 0: constraint-oblivious global placement.
         unplaced = self._flow_round(containers, state, result)
         for c in unplaced:
@@ -95,9 +107,6 @@ class FirmamentScheduler(Scheduler):
             result.undeployed[container.container_id] = FailureReason.ANTI_AFFINITY
         # Remaining co-locations survive as violations.
         self._mark_surviving_violations(state, result)
-
-        result.elapsed_s = time.perf_counter() - t0
-        return result
 
     # ------------------------------------------------------------------
     # round 0

@@ -98,6 +98,9 @@ def cmd_replay(args) -> int:
         result = sim.run(factories[name](), _order_from(args))
         metrics.append(result.metrics)
         print(result.summary())
+        tele = result.schedule.telemetry
+        if tele is not None and tele.counters() != type(tele)().counters():
+            print(f"  telemetry: {tele.summary()}")
     print()
     print(metrics_table(metrics, title=f"Replay [{args.order}]"))
     return 0
@@ -137,7 +140,13 @@ def cmd_online(args) -> int:
             seed=args.seed,
         ),
     )
-    result = sim.run(factories[args.scheduler]())
+    if args.scheduler == "Aladdin" and args.no_cache:
+        scheduler = AladdinScheduler(
+            AladdinConfig(enable_feasibility_cache=False)
+        )
+    else:
+        scheduler = factories[args.scheduler]()
+    result = sim.run(scheduler)
     step = max(1, len(result.samples) // 20)
     print(format_series(
         "running containers over time",
@@ -147,6 +156,12 @@ def cmd_online(args) -> int:
           f"{result.total_departed}, failed {result.total_failed} "
           f"({result.failure_rate:.1%}), peak machines "
           f"{result.peak_used_machines}, migrations {result.total_migrations}")
+    tele = result.telemetry
+    if tele.counters() != type(tele)().counters():
+        print(f"telemetry: {tele.summary()}")
+        print(f"scheduling wall time {result.total_elapsed_s * 1000:.1f} ms "
+              f"across {sum(1 for s in result.samples if s.arrived_containers)}"
+              " rounds")
     return 0
 
 
@@ -237,6 +252,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ticks", type=int, default=50)
     p.add_argument("--order", default="trace",
                    choices=[o.value for o in ArrivalOrder])
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the cross-round feasibility cache "
+                        "(Aladdin only; cached-vs-cold ablation)")
     p.set_defaults(fn=cmd_online)
 
     p = sub.add_parser("experiments",

@@ -127,6 +127,14 @@ class ConstraintSet:
         """Spread domain of ``app_id``'s within-rule: machine or rack."""
         return self._within_scope.get(app_id, "machine")
 
+    def has_conflicts(self, app_id: int) -> bool:
+        """True when any cross-application rule names ``app_id``.
+
+        Allocation-free membership test for hot paths;
+        :meth:`conflicts_of` materialises the actual set.
+        """
+        return app_id in self._conflicts
+
     def conflicts_of(self, app_id: int) -> frozenset[int]:
         """Applications that must not share a machine with ``app_id``."""
         return frozenset(self._conflicts.get(app_id, ()))

@@ -14,12 +14,18 @@ dictionaries only appear per-deployment, never per-machine-scan.
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
 from repro.cluster.constraints import ConstraintSet
 from repro.cluster.container import Container
 from repro.cluster.events import Event, EventKind, EventLog
 from repro.cluster.topology import ClusterTopology
+
+#: distinguishes state instances without relying on ``id()`` reuse —
+#: cross-round caches key their entries on this uid.
+_state_uids = itertools.count()
 
 
 class ClusterState:
@@ -60,6 +66,53 @@ class ClusterState:
         self.app_machines: dict[int, dict[int, int]] = {}
         self.events: EventLog | None = EventLog() if track_events else None
         self._clock = 0
+        #: stable identity for cross-round caches (survives ``id()`` reuse)
+        self.state_uid = next(_state_uids)
+        #: monotonically increasing mutation counter; every deploy,
+        #: evict, migrate or external touch bumps it by one
+        self.version = 0
+        # Dirty log: machine id per mutation, indexed by version.  A
+        # consumer that remembers the version it last synced at reads
+        # ``dirty_since(v)`` to learn exactly which machines changed.
+        # The log is compacted once it outgrows ``_log_limit``; consumers
+        # older than the compaction base get ``None`` ("everything may
+        # have changed") and must recompute fully.
+        self._dirty_log: list[int] = []
+        self._log_base = 0
+        self._log_limit = max(4096, 16 * n)
+
+    # ------------------------------------------------------------------
+    # change tracking
+    # ------------------------------------------------------------------
+    def touch(self, machine_id: int) -> None:
+        """Record an out-of-band mutation of ``machine_id``.
+
+        Every mutation through :meth:`deploy`/:meth:`evict`/:meth:`migrate`
+        is tracked automatically; callers that modify :attr:`available`
+        directly (e.g. fault injection zeroing a machine's capacity) must
+        call this so cross-round caches invalidate the machine.
+        """
+        self.version += 1
+        self._dirty_log.append(machine_id)
+        if len(self._dirty_log) > self._log_limit:
+            # Drop the oldest half; consumers synced before the new base
+            # fall back to a full recompute, never to stale verdicts.
+            drop = len(self._dirty_log) // 2
+            del self._dirty_log[:drop]
+            self._log_base += drop
+
+    def dirty_since(self, version: int) -> set[int] | None:
+        """Machines mutated after ``version``, or ``None`` when unknown.
+
+        ``None`` means the log no longer reaches back to ``version``
+        (compaction, or a version from another state instance): the
+        caller must treat every machine as dirty.
+        """
+        if version >= self.version:
+            return set()
+        if version < self._log_base:
+            return None
+        return set(self._dirty_log[version - self._log_base :])
 
     # ------------------------------------------------------------------
     # queries
@@ -211,6 +264,7 @@ class ClusterState:
         )
         per_machine = self.app_machines.setdefault(container.app_id, {})
         per_machine[machine_id] = per_machine.get(machine_id, 0) + 1
+        self.touch(machine_id)
         self._record(EventKind.DEPLOY, container.container_id, machine_id)
 
     def evict(self, container_id: int) -> Container:
@@ -227,6 +281,7 @@ class ClusterState:
         per_machine[machine_id] -= 1
         if per_machine[machine_id] == 0:
             del per_machine[machine_id]
+        self.touch(machine_id)
         self._record(EventKind.EVICT, container_id, machine_id)
         return container
 
@@ -304,7 +359,12 @@ class ClusterState:
         return violations
 
     def snapshot(self) -> "ClusterState":
-        """Deep-copy the mutable state (topology/constraints are shared)."""
+        """Deep-copy the mutable state (topology/constraints are shared).
+
+        The clone gets a fresh :attr:`state_uid` and an empty dirty log:
+        caches keyed on the original keep their entries, caches handed
+        the clone start cold — stale cross-talk is impossible.
+        """
         clone = ClusterState(self.topology, self.constraints)
         clone.available = self.available.copy()
         clone.container_count = self.container_count.copy()

@@ -16,6 +16,7 @@
 from repro.core.config import AladdinConfig
 from repro.core.weights import derive_priority_weights, weighted_flow_value
 from repro.core.blacklist import BlacklistFunction
+from repro.core.feascache import FeasibilityCache
 from repro.core.network_builder import LayeredNetwork, build_layered_network
 from repro.core.scheduler import AladdinScheduler
 from repro.core.search import FlowPathSearch
@@ -25,6 +26,7 @@ __all__ = [
     "derive_priority_weights",
     "weighted_flow_value",
     "BlacklistFunction",
+    "FeasibilityCache",
     "LayeredNetwork",
     "build_layered_network",
     "AladdinScheduler",

@@ -24,6 +24,15 @@ class AladdinConfig:
         moment a container has a valid placement.
     enable_migration / enable_preemption:
         The two flow-increasing mechanisms of Section III.B.
+    enable_feasibility_cache:
+        Persist IL feasibility verdicts across scheduling rounds
+        (:mod:`repro.core.feascache`), invalidating only machines the
+        state's dirty log reports as touched.  Only active together
+        with ``enable_il`` — the cache *is* the cross-round form of
+        isomorphism limiting, so disabling IL disables it (and keeps
+        the IL/DL ablations honest).  Placements are provably identical
+        with the cache on or off; the differential test harness replays
+        randomized churn to enforce that.
     window_apps:
         Scheduling-window width in applications.  Containers inside one
         window are re-ordered by weighted flow (priority); windows model
@@ -53,6 +62,7 @@ class AladdinConfig:
     enable_dl: bool = True
     enable_migration: bool = True
     enable_preemption: bool = True
+    enable_feasibility_cache: bool = True
     window_apps: int = 64
     migration_candidates: int = 16
     max_migrations_per_container: int = 16

@@ -1,0 +1,154 @@
+"""Cross-round isomorphism-limiting feasibility cache.
+
+Isomorphism limiting (Section IV.A) rests on one observation: all
+containers of an application are identical, so a machine's feasibility
+verdict — multidimensional capacity dominance (Equation 6) plus the
+Equation 7–8 blacklist — holds for *every* container of that
+application.  The seed implementation exploited this within a single
+scheduling round but recomputed every verdict from scratch each round,
+which is exactly the waste an online churn workload punishes: between
+two rounds only the machines touched by the round's placements,
+evictions, preemptions and migrations can change their verdicts.
+
+:class:`FeasibilityCache` makes IL verdicts persist across rounds with
+precise invalidation, by splitting the verdict into its two terms:
+
+* **Dominance** (``available[m] >= demand``, Equation 6) depends only on
+  the demand vector and the machine — not on the application.  It is
+  the expensive O(machines × dims) scan, and it is cached persistently,
+  keyed by the demand shape.  A churn stream never resubmits an
+  application, but it resubmits the same demand *shapes* constantly, so
+  every application with the same shape shares one entry — this is
+  where the cross-round reuse comes from.
+* **The blacklist** (Equations 7–8) is app-specific but cheap: it only
+  touches the machines currently hosting the app's conflict partners
+  (or rack-mates, for rack-scoped within-rules).  It is evaluated live
+  on every query, never cached — so constraint changes cannot go stale
+  by construction, and rack-scope rules need no special invalidation.
+
+On each query the dominance entry is synchronised against the
+:class:`~repro.cluster.state.ClusterState` dirty log: only machines
+mutated since the entry's version are rechecked (dominance for machine
+``m`` depends only on ``available[m]``, and every mutation of ``m`` is
+logged).  When the log has been compacted past the entry's version, or
+the entry belongs to a different state instance, the verdicts are
+discarded wholesale — the cache degrades to the seed behaviour, never
+to stale answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import telemetry
+from repro.cluster.state import ClusterState
+
+
+@dataclass
+class _Entry:
+    """Cached dominance verdicts for one demand shape."""
+
+    fit: np.ndarray  # bool, shape (n_machines,)
+    version: int  # state version the verdicts are synced to
+
+
+class FeasibilityCache:
+    """Persistent per-(demand shape, machine) dominance verdicts.
+
+    One instance lives on each scheduler and survives across
+    ``schedule()`` calls; it rebinds automatically when handed a
+    different :class:`ClusterState` (fresh simulation, snapshot, …).
+
+    Attributes
+    ----------
+    hits / misses / invalidations:
+        Lifetime counters (per-machine verdicts served from cache,
+        recomputed, and discarded as dirty).  The same increments are
+        reported to the active telemetry collector, if any.
+    last_recomputed:
+        Number of verdicts recomputed by the most recent query — the
+        honest incremental cost a caller should charge to its
+        ``explored`` work counter.
+    """
+
+    def __init__(self) -> None:
+        self._state_uid: int | None = None
+        self._entries: dict[bytes, _Entry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.last_recomputed = 0
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop every entry (rebinding to a new state does this too)."""
+        self._entries.clear()
+        self._state_uid = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def feasible_mask(
+        self, state: ClusterState, demand: np.ndarray, app_id: int
+    ) -> np.ndarray:
+        """Equivalent of ``state.feasible_mask(demand, app_id)``, cached.
+
+        Returns a fresh array (callers may mutate it freely).  The
+        verdicts are exact for the state's *current* version: the
+        dominance entry is synchronised against the dirty log before
+        the live blacklist term is applied.
+        """
+        if state.state_uid != self._state_uid:
+            self.reset()
+            self._state_uid = state.state_uid
+
+        n = state.n_machines
+        key = demand.tobytes()
+        entry = self._entries.get(key)
+
+        if entry is None:
+            fit = (state.available >= demand).all(axis=1)
+            self._entries[key] = _Entry(fit=fit, version=state.version)
+            self._count(hits=0, misses=n, invalidations=0)
+        else:
+            dirty = state.dirty_since(entry.version)
+            if dirty is None:
+                # The log no longer reaches this far back: recompute.
+                entry.fit = (state.available >= demand).all(axis=1)
+                self._count(hits=0, misses=n, invalidations=n)
+            elif dirty:
+                ids = np.fromiter(dirty, dtype=np.int64, count=len(dirty))
+                entry.fit[ids] = (state.available[ids] >= demand).all(axis=1)
+                stale = int(ids.size)
+                self._count(hits=n - stale, misses=stale, invalidations=stale)
+            else:
+                self._count(hits=n, misses=0, invalidations=0)
+            entry.version = state.version
+            fit = entry.fit
+
+        cs = state.constraints
+        if cs.has_within(app_id) or cs.has_conflicts(app_id):
+            # The blacklist term is live, so it can never go stale; it
+            # only touches machines hosting the app's conflict partners.
+            return fit & ~state.forbidden_mask(app_id)
+        return fit.copy()
+
+    # ------------------------------------------------------------------
+    def _count(self, hits: int, misses: int, invalidations: int) -> None:
+        self.hits += hits
+        self.misses += misses
+        self.invalidations += invalidations
+        self.last_recomputed = misses
+        tele = telemetry.current()
+        if tele is not None:
+            tele.cache_hits += hits
+            tele.cache_misses += misses
+            tele.cache_invalidations += invalidations
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -20,10 +20,12 @@ search engine; every successful rescue leaves the
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.base import FailureReason
 from repro.cluster.container import Container
 from repro.cluster.state import ClusterState
@@ -82,7 +84,26 @@ class RescuePlanner:
         the caller, which owns deployment bookkeeping).  ``exhaustive``
         lifts the candidate-scan bounds (used by the scheduler's final
         repair pass, where thoroughness beats latency).
+
+        Wall time is reported to the active telemetry collector as the
+        ``rescue`` phase (it overlaps the caller's search phase — rescue
+        runs *inside* the search loop).
         """
+        t0 = time.perf_counter()
+        try:
+            return self._rescue(container, demand, allow_preemption, exhaustive)
+        finally:
+            tele = telemetry.current()
+            if tele is not None:
+                tele.add_phase_time("rescue", time.perf_counter() - t0)
+
+    def _rescue(
+        self,
+        container: Container,
+        demand: np.ndarray,
+        allow_preemption: bool,
+        exhaustive: bool,
+    ) -> RescueOutcome:
         out = RescueOutcome()
         fits = (self.state.available >= demand).all(axis=1)
         forbidden = self.state.forbidden_mask(container.app_id)

@@ -35,10 +35,12 @@ import time
 
 import numpy as np
 
+from repro import telemetry
 from repro.base import FailureReason, ScheduleResult, Scheduler
 from repro.cluster.container import Container
 from repro.cluster.state import ClusterState
 from repro.core.config import AladdinConfig
+from repro.core.feascache import FeasibilityCache
 from repro.core.migration import RescuePlanner
 from repro.core.weights import derive_priority_weights
 
@@ -51,6 +53,8 @@ class AladdinScheduler(Scheduler):
         self.name = self.config.variant_name()
         #: priority-class weights derived for the last scheduled stream
         self.last_weights: dict[int, float] = {}
+        #: cross-round IL feasibility verdicts (survives schedule() calls)
+        self.feas_cache = FeasibilityCache()
 
     # ------------------------------------------------------------------
     def schedule(
@@ -58,6 +62,19 @@ class AladdinScheduler(Scheduler):
     ) -> ScheduleResult:
         t0 = time.perf_counter()
         result = ScheduleResult()
+        result.telemetry = telemetry.SchedulerTelemetry()
+        with telemetry.collect(result.telemetry):
+            self._schedule(containers, state, result)
+        result.elapsed_s = time.perf_counter() - t0
+        return result
+
+    def _schedule(
+        self,
+        containers: list[Container],
+        state: ClusterState,
+        result: ScheduleResult,
+    ) -> None:
+        tele = result.telemetry
         blocks = _group_blocks(containers)
         self.last_weights = _derive_weights_for(containers, self.config)
         # The preemption guard uses the *minimal* compliant weights
@@ -77,17 +94,40 @@ class AladdinScheduler(Scheduler):
                 window_blocks, key=lambda b: -self.last_weights[b[0].priority]
             )
             requeue: list[Container] = []
-            for block in window_blocks:
-                self._place_block(block, state, planner, result, requeue)
-            self._drain_requeue(requeue, state, planner, result)
+            with tele.phase("search"):
+                for block in window_blocks:
+                    self._place_block(block, state, planner, result, requeue)
+            with tele.phase("requeue"):
+                self._drain_requeue(requeue, state, planner, result)
         if self.config.final_repair and result.undeployed:
-            self._final_repair(containers, state, planner, result)
+            with tele.phase("repair"):
+                self._final_repair(containers, state, planner, result)
         # Rescue migrations move already-placed containers; re-read their
         # final machine from the authoritative state.
         for cid in result.placements:
             result.placements[cid] = state.assignment[cid]
-        result.elapsed_s = time.perf_counter() - t0
-        return result
+
+    # ------------------------------------------------------------------
+    def _feasible_mask(
+        self,
+        state: ClusterState,
+        demand: np.ndarray,
+        app_id: int,
+        result: ScheduleResult,
+    ) -> np.ndarray:
+        """One IL feasibility evaluation, served incrementally when the
+        cross-round cache is enabled.
+
+        The work charged to ``explored`` is the number of per-machine
+        verdicts actually recomputed — the full cluster without the
+        cache, only the dirty machines with it.
+        """
+        if self.config.enable_il and self.config.enable_feasibility_cache:
+            mask = self.feas_cache.feasible_mask(state, demand, app_id)
+            result.explored += self.feas_cache.last_recomputed
+            return mask
+        result.explored += state.n_machines
+        return state.feasible_mask(demand, app_id)
 
     # ------------------------------------------------------------------
     def _place_block(
@@ -108,18 +148,20 @@ class AladdinScheduler(Scheduler):
         affinity = state.affinity_mask(app_id)
         candidates: _CandidateWalk | None = None
         if cfg.enable_il:
-            mask = state.feasible_mask(demand, app_id)
-            result.explored += n_machines
+            mask = self._feasible_mask(state, demand, app_id, result)
             candidates = _CandidateWalk(
                 state, demand, mask, within, cfg.enable_dl, affinity=affinity
             )
 
+        tele = result.telemetry
         dead_reason: FailureReason | None = None
         for container in block:
             if dead_reason is not None:
                 # IL: an identical sibling already failed search + rescue
                 # against unchanged state; skip without re-searching.
                 result.undeployed[container.container_id] = dead_reason
+                if tele is not None:
+                    tele.il_prune_hits += 1
                 continue
 
             if cfg.enable_il:
@@ -136,6 +178,9 @@ class AladdinScheduler(Scheduler):
                     machine = candidates.next_machine()
                     result.explored += candidates.last_cost
             else:
+                # No IL: the per-container feasibility recomputation is
+                # the exact redundant work the pruning (and its
+                # cross-round cache) avoids, so it bypasses the cache.
                 mask = state.feasible_mask(demand, app_id)
                 result.explored += n_machines
                 machine = _pick_machine(state, mask, cfg.enable_dl, affinity=affinity)
@@ -163,8 +208,10 @@ class AladdinScheduler(Scheduler):
                         # feasibility verdicts are stale, so the
                         # isomorphism cache is rebuilt from live state
                         # (the rebuild cost is charged to `explored`).
-                        mask = state.feasible_mask(demand, app_id)
-                        result.explored += n_machines
+                        # With the cross-round cache the rebuild itself
+                        # is incremental: only the machines the rescue
+                        # touched are re-evaluated.
+                        mask = self._feasible_mask(state, demand, app_id, result)
                         candidates = _CandidateWalk(
                             state, demand, mask, within, cfg.enable_dl,
                             affinity=state.affinity_mask(app_id),
@@ -223,8 +270,7 @@ class AladdinScheduler(Scheduler):
         """
         for container in requeue:
             demand = container.demand_vector(state.topology.resources)
-            mask = state.feasible_mask(demand, container.app_id)
-            result.explored += state.n_machines
+            mask = self._feasible_mask(state, demand, container.app_id, result)
             machine = _pick_machine(state, mask, dl=True)
             if machine is None:
                 outcome = planner.rescue(container, demand, allow_preemption=False)
@@ -288,8 +334,9 @@ class AladdinScheduler(Scheduler):
             for cid in group:
                 container = by_id[cid]
                 demand = container.demand_vector(state.topology.resources)
-                mask = state.feasible_mask(demand, container.app_id)
-                result.explored += state.n_machines
+                mask = self._feasible_mask(
+                    state, demand, container.app_id, result
+                )
                 machine = _pick_machine(state, mask, dl=True)
                 if machine is None:
                     outcome = planner.rescue(
@@ -373,6 +420,9 @@ class _CandidateWalk:
             machine = int(self.ids[self.pos])
             if self.fill[self.pos] <= 0:
                 self.pos += 1
+            tele = telemetry.current()
+            if tele is not None:
+                tele.dl_prune_hits += 1
             return machine
         # No DL: re-rank all remaining candidates against live state
         # (the redundant work depth limiting avoids).  Each candidate is
@@ -437,6 +487,9 @@ def _pick_machine(
         return None
     score = _scores(state, ids, affinity)
     if dl:
+        tele = telemetry.current()
+        if tele is not None:
+            tele.dl_prune_hits += 1
         return int(ids[np.argmin(score)])
     ranked = ids[np.argsort(score, kind="stable")]
     return int(ranked[0])

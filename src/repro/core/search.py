@@ -24,11 +24,13 @@ import time
 
 import numpy as np
 
+from repro import telemetry
 from repro.base import FailureReason, ScheduleResult, Scheduler
 from repro.cluster.container import Container
 from repro.cluster.state import ClusterState
 from repro.core.blacklist import BlacklistFunction
 from repro.core.config import AladdinConfig
+from repro.core.feascache import FeasibilityCache
 from repro.core.migration import RescuePlanner
 from repro.core.network_builder import LayeredNetwork, build_layered_network
 from repro.core.scheduler import _derive_weights_for, _group_blocks
@@ -44,6 +46,9 @@ class FlowPathSearch(Scheduler):
         self.name = self.config.variant_name() + "[flow]"
         self.last_network: LayeredNetwork | None = None
         self.last_weights: dict[int, float] = {}
+        #: cross-round IL feasibility verdicts, shared semantics with
+        #: the vectorised engine (the differential harness compares both)
+        self.feas_cache = FeasibilityCache()
 
     # ------------------------------------------------------------------
     def schedule(
@@ -51,6 +56,18 @@ class FlowPathSearch(Scheduler):
     ) -> ScheduleResult:
         t0 = time.perf_counter()
         result = ScheduleResult()
+        result.telemetry = telemetry.SchedulerTelemetry()
+        with telemetry.collect(result.telemetry):
+            self._schedule(containers, state, result)
+        result.elapsed_s = time.perf_counter() - t0
+        return result
+
+    def _schedule(
+        self,
+        containers: list[Container],
+        state: ClusterState,
+        result: ScheduleResult,
+    ) -> None:
         self.last_weights = _derive_weights_for(containers, self.config)
         guard_weights = _derive_weights_for(containers, self.config, base=1.0)
         planner = RescuePlanner(state, self.config, guard_weights)
@@ -61,13 +78,12 @@ class FlowPathSearch(Scheduler):
                 blocks[start : start + window],
                 key=lambda b: -self.last_weights[b[0].priority],
             )
-            self._schedule_window(window_blocks, state, planner, result)
+            with result.telemetry.phase("search"):
+                self._schedule_window(window_blocks, state, planner, result)
         # Rescue migrations move already-placed containers; re-read their
         # final machine from the authoritative state.
         for cid in result.placements:
             result.placements[cid] = state.assignment[cid]
-        result.elapsed_s = time.perf_counter() - t0
-        return result
 
     # ------------------------------------------------------------------
     def _schedule_window(
@@ -86,12 +102,15 @@ class FlowPathSearch(Scheduler):
         # Per-application pruning state for IL.
         dead_apps: dict[int, FailureReason] = {}
 
+        tele = result.telemetry
         for block in window_blocks:
             app_id = block[0].app_id
             demand = block[0].demand_vector(state.topology.resources)
             for container in block:
                 if app_id in dead_apps:
                     result.undeployed[container.container_id] = dead_apps[app_id]
+                    if tele is not None:
+                        tele.il_prune_hits += 1
                     continue
                 machine = self._find_path(
                     container, demand, state, network, blacklist, result
@@ -160,8 +179,23 @@ class FlowPathSearch(Scheduler):
 
         The exploration order is the same total order as the vectorised
         engine's (`_scores`): affinity tier, packing level, machine id.
+
+        With the cross-round cache enabled the per-machine admission
+        test is answered from the persistent IL verdicts (synchronised
+        against the state's dirty log) instead of evaluating the
+        ``VectorCapacity`` + blacklist pair afresh; the admitted set is
+        identical — ``capacity.admits`` *is* Equation 6 ∧ Equation 8,
+        which is exactly what ``ClusterState.feasible_mask`` vectorises.
         """
         from repro.core.scheduler import _scores
+
+        cfg = self.config
+        admit: np.ndarray | None = None
+        if cfg.enable_il and cfg.enable_feasibility_cache:
+            admit = self.feas_cache.feasible_mask(
+                state, demand, container.app_id
+            )
+            result.explored += self.feas_cache.last_recomputed
 
         order = np.argsort(
             _scores(
@@ -171,20 +205,27 @@ class FlowPathSearch(Scheduler):
             ),
             kind="stable",
         )
+        tele = result.telemetry
         chosen: int | None = None
         for machine_id in order:
             machine_id = int(machine_id)
             result.explored += 1
-            capacity = VectorCapacity(
-                state.available[machine_id],
-                predicate=lambda _d, ctx: blacklist.admits(
-                    container.app_id, ctx
-                ),
-            )
-            if capacity.admits(demand, machine_id):
+            if admit is not None:
+                admitted = bool(admit[machine_id])
+            else:
+                capacity = VectorCapacity(
+                    state.available[machine_id],
+                    predicate=lambda _d, ctx: blacklist.admits(
+                        container.app_id, ctx
+                    ),
+                )
+                admitted = capacity.admits(demand, machine_id)
+            if admitted:
                 if chosen is None:
                     chosen = machine_id
-                if self.config.enable_dl:
+                if cfg.enable_dl:
+                    if tele is not None:
+                        tele.dl_prune_hits += 1
                     break
         return chosen
 

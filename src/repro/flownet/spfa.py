@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections import deque
 
+from repro import telemetry
 from repro.flownet.graph import FlowNetwork
 
 _EPS = 1e-9
@@ -51,6 +52,7 @@ def spfa(
     dist[source] = 0.0
     queue: deque[int] = deque([source])
     in_queue[source] = True
+    relaxations = 0
     while queue:
         u = queue.popleft()
         in_queue[u] = False
@@ -64,6 +66,7 @@ def spfa(
             if nd < dist[v] - _EPS:
                 dist[v] = nd
                 parent_edge[v] = i
+                relaxations += 1
                 if not in_queue[v]:
                     relax_count[v] += 1
                     if relax_count[v] > n:
@@ -77,6 +80,9 @@ def spfa(
                     else:
                         queue.append(v)
                     in_queue[v] = True
+    tele = telemetry.current()
+    if tele is not None:
+        tele.spfa_relaxations += relaxations
     return dist, parent_edge
 
 

@@ -10,7 +10,12 @@ every metric the evaluation section reports.
 from repro.sim.metrics import SimulationMetrics, compute_metrics, relative_efficiency
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import Simulator
-from repro.sim.runner import run_experiment, latency_sweep, minimum_cluster_size
+from repro.sim.runner import (
+    latency_sweep,
+    minimum_cluster_size,
+    run_experiment,
+    run_online,
+)
 from repro.sim.faults import (
     FaultReport,
     fail_machines,
@@ -27,6 +32,7 @@ __all__ = [
     "SimulationResult",
     "Simulator",
     "run_experiment",
+    "run_online",
     "latency_sweep",
     "minimum_cluster_size",
     "FaultReport",

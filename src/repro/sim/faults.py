@@ -69,6 +69,9 @@ def fail_machines(state: ClusterState, machine_ids: list[int]) -> FaultReport:
             displaced.append(container)
             blast[container.app_id] = blast.get(container.app_id, 0) + 1
         state.available[machine_id] = 0.0
+        # Direct capacity mutation: tell the dirty log so cross-round
+        # feasibility caches drop their verdicts for this machine.
+        state.touch(machine_id)
     return FaultReport(
         failed_machines=list(machine_ids),
         displaced=displaced,
@@ -84,6 +87,7 @@ def repair_machines(state: ClusterState, machine_ids: list[int]) -> None:
                 f"machine {machine_id} hosts containers; it was not failed"
             )
         state.available[machine_id] = state.topology.capacity[machine_id]
+        state.touch(machine_id)
 
 
 def recover(

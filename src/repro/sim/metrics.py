@@ -52,6 +52,16 @@ class SimulationMetrics:
     #: Fig. 12: Equation 11, milliseconds per container
     latency_total_s: float
     latency_per_container_ms: float
+    #: scheduler telemetry (all 0 for schedulers without the layer):
+    #: SPFA relaxations, IL/DL pruning hits, and the cross-round
+    #: feasibility-cache hit/miss/invalidation counters
+    spfa_relaxations: int = 0
+    il_prune_hits: int = 0
+    dl_prune_hits: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
+    cache_hit_rate: float = 0.0
 
     def row(self) -> dict[str, object]:
         """Flat dict for table rendering / JSON dumps."""
@@ -116,6 +126,7 @@ def compute_metrics(
     per_container_ms = (
         1000.0 * result.elapsed_s / n_total if n_total else 0.0
     )
+    tele = result.telemetry
     return SimulationMetrics(
         scheduler=scheduler_name,
         arrival_order=arrival_order,
@@ -140,6 +151,13 @@ def compute_metrics(
         explored=result.explored,
         latency_total_s=result.elapsed_s,
         latency_per_container_ms=per_container_ms,
+        spfa_relaxations=tele.spfa_relaxations if tele else 0,
+        il_prune_hits=tele.il_prune_hits if tele else 0,
+        dl_prune_hits=tele.dl_prune_hits if tele else 0,
+        cache_hits=tele.cache_hits if tele else 0,
+        cache_misses=tele.cache_misses if tele else 0,
+        cache_invalidations=tele.cache_invalidations if tele else 0,
+        cache_hit_rate=tele.cache_hit_rate if tele else 0.0,
     )
 
 

@@ -18,6 +18,7 @@ Time is discrete ticks.  Each tick:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,6 +26,7 @@ import numpy as np
 from repro.base import Scheduler
 from repro.cluster.state import ClusterState
 from repro.cluster.topology import build_cluster
+from repro.telemetry import SchedulerTelemetry
 from repro.trace.arrival import ArrivalOrder, order_applications
 from repro.trace.schema import Trace
 
@@ -79,17 +81,31 @@ class TickSample:
     mean_utilization: float
     migrations: int
     violations: int
+    #: machines examined by this tick's scheduling round (0 on idle ticks)
+    explored: int = 0
+    #: feasibility verdicts served from the cross-round cache this tick
+    cache_hits: int = 0
 
 
 @dataclass
 class OnlineResult:
-    """Per-tick series plus whole-run aggregates."""
+    """Per-tick series plus whole-run aggregates.
+
+    :attr:`telemetry` merges every scheduling round's counters: SPFA
+    relaxations, IL/DL pruning hits, and the cross-round feasibility
+    cache's hit/miss/invalidation totals.  Counters are deterministic
+    for a fixed seed; phase wall times are not, so
+    :meth:`canonical_json` (the determinism-test serialisation)
+    excludes them.
+    """
 
     samples: list[TickSample] = field(default_factory=list)
     total_arrived: int = 0
     total_departed: int = 0
     total_failed: int = 0
     total_migrations: int = 0
+    total_elapsed_s: float = 0.0
+    telemetry: SchedulerTelemetry = field(default_factory=SchedulerTelemetry)
 
     @property
     def peak_used_machines(self) -> int:
@@ -102,6 +118,42 @@ class OnlineResult:
     def series(self, attr: str) -> list[tuple[int, float]]:
         """(tick, value) pairs for one sampled attribute."""
         return [(s.tick, getattr(s, attr)) for s in self.samples]
+
+    def canonical_json(self) -> str:
+        """Deterministic serialisation of every metric of the run.
+
+        Two runs with the same trace, scheduler and seed must produce
+        byte-identical output — this is the contract the determinism
+        test enforces, and it deliberately covers the telemetry
+        counters while excluding wall-clock times (``total_elapsed_s``
+        and per-phase timings), which legitimately vary between runs.
+        """
+        payload = {
+            "totals": {
+                "arrived": self.total_arrived,
+                "departed": self.total_departed,
+                "failed": self.total_failed,
+                "migrations": self.total_migrations,
+            },
+            "telemetry": self.telemetry.counters(),
+            "samples": [
+                {
+                    "tick": s.tick,
+                    "arrived": s.arrived_containers,
+                    "departed": s.departed_containers,
+                    "running": s.running_containers,
+                    "failures": s.pending_failures,
+                    "used_machines": s.used_machines,
+                    "mean_utilization": repr(s.mean_utilization),
+                    "migrations": s.migrations,
+                    "violations": s.violations,
+                    "explored": s.explored,
+                    "cache_hits": s.cache_hits,
+                }
+                for s in self.samples
+            ],
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 class OnlineSimulator:
@@ -155,13 +207,20 @@ class OnlineSimulator:
 
             migrations = 0
             failed = 0
+            explored = 0
+            cache_hits = 0
             if batch:  # 2. arrivals
                 schedule = scheduler.schedule(batch, state)
                 migrations = schedule.migrations
                 failed = schedule.n_undeployed
+                explored = schedule.explored
                 result.total_arrived += len(batch)
                 result.total_failed += failed
                 result.total_migrations += migrations
+                result.total_elapsed_s += schedule.elapsed_s
+                if schedule.telemetry is not None:
+                    cache_hits = schedule.telemetry.cache_hits
+                    result.telemetry.merge(schedule.telemetry)
                 for c in batch:
                     if c.container_id in schedule.placements:
                         end = tick + life_of[c.app_id]
@@ -180,6 +239,8 @@ class OnlineSimulator:
                     mean_utilization=float(util.mean()) if used else 0.0,
                     migrations=migrations,
                     violations=state.anti_affinity_violations(),
+                    explored=explored,
+                    cache_hits=cache_hits,
                 )
             )
             if idx >= len(apps) and not departures:

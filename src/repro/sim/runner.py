@@ -5,10 +5,39 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.base import Scheduler
+from repro.sim.online import OnlineConfig, OnlineResult, OnlineSimulator
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import Simulator
 from repro.trace.arrival import ArrivalOrder
 from repro.trace.schema import Trace
+
+
+def run_online(
+    trace: Trace,
+    scheduler: Scheduler,
+    ticks: int = 50,
+    seed: int = 0,
+    order: ArrivalOrder = ArrivalOrder.TRACE,
+    machine_pool_factor: float = 1.2,
+) -> OnlineResult:
+    """One online (arrival/departure churn) run — the repeated-round
+    workload where the cross-round feasibility cache earns its keep.
+
+    The scheduler instance is reused across every tick on purpose:
+    cross-round caches only help when they survive rounds, and the
+    per-tick telemetry in the returned :class:`OnlineResult` records
+    exactly how much they helped.
+    """
+    sim = OnlineSimulator(
+        trace,
+        OnlineConfig(
+            ticks=ticks,
+            arrival_order=order,
+            seed=seed,
+            machine_pool_factor=machine_pool_factor,
+        ),
+    )
+    return sim.run(scheduler)
 
 
 def run_experiment(

@@ -1,0 +1,138 @@
+"""Scheduler telemetry — the instrumentation behind the Fig. 12/13 story.
+
+The paper's overhead argument is quantitative: isomorphism limiting
+replaces per-container feasibility scans with per-application ones,
+depth limiting cuts each search to its first admitting machine, and the
+incremental feasibility cache (see :mod:`repro.core.feascache`) carries
+those verdicts across scheduling rounds.  This module is the single
+place all of those savings are *counted*:
+
+* ``spfa_relaxations`` — successful edge relaxations inside
+  :func:`repro.flownet.spfa.spfa` (the flow-solver cost driver);
+* ``il_prune_hits`` — containers skipped because an identical sibling
+  already exhausted search + rescue (isomorphism limiting);
+* ``dl_prune_hits`` — placements served by the O(1) depth-limited
+  pointer walk instead of a full candidate re-ranking;
+* ``cache_hits`` / ``cache_misses`` / ``cache_invalidations`` —
+  per-machine feasibility verdicts served from, recomputed into, and
+  discarded from the cross-round cache;
+* ``phase_time_s`` — wall time per scheduler phase (search, rescue,
+  requeue, repair).  Wall times are *not* part of the deterministic
+  counter set: :meth:`SchedulerTelemetry.counters` excludes them so two
+  runs with the same seed serialise byte-identically.
+
+Producers (SPFA, the candidate walk, the feasibility cache) report to a
+module-level *current collector* installed by the scheduler around each
+``schedule()`` call, so deep call sites need no plumbing.  The collector
+is plain module state, matching the single-threaded simulator; nesting
+is supported (collectors save/restore) for schedulers that invoke other
+schedulers.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass
+class SchedulerTelemetry:
+    """Counters and phase timings for one (or many merged) runs."""
+
+    spfa_relaxations: int = 0
+    il_prune_hits: int = 0
+    dl_prune_hits: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_invalidations: int = 0
+    #: phase name -> accumulated wall seconds (non-deterministic; kept
+    #: out of :meth:`counters` on purpose)
+    phase_time_s: dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of feasibility verdicts served from the cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def counters(self) -> dict[str, int]:
+        """The deterministic counter set, in a stable key order.
+
+        Two runs with identical seeds produce identical dicts — the
+        determinism test serialises this (phase wall times excluded).
+        """
+        return {
+            "spfa_relaxations": self.spfa_relaxations,
+            "il_prune_hits": self.il_prune_hits,
+            "dl_prune_hits": self.dl_prune_hits,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_invalidations": self.cache_invalidations,
+        }
+
+    def add_phase_time(self, phase: str, seconds: float) -> None:
+        self.phase_time_s[phase] = self.phase_time_s.get(phase, 0.0) + seconds
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a scheduler phase into :attr:`phase_time_s`."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_phase_time(name, time.perf_counter() - t0)
+
+    def merge(self, other: "SchedulerTelemetry") -> None:
+        """Fold another run's telemetry into this one."""
+        self.spfa_relaxations += other.spfa_relaxations
+        self.il_prune_hits += other.il_prune_hits
+        self.dl_prune_hits += other.dl_prune_hits
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_invalidations += other.cache_invalidations
+        for phase, dt in other.phase_time_s.items():
+            self.add_phase_time(phase, dt)
+
+    def summary(self) -> str:
+        """One-line human rendering for CLI run summaries."""
+        parts = [
+            f"cache {self.cache_hits}/{self.cache_hits + self.cache_misses}"
+            f" hits ({self.cache_hit_rate:.0%})",
+            f"invalidated {self.cache_invalidations}",
+            f"IL prunes {self.il_prune_hits}",
+            f"DL prunes {self.dl_prune_hits}",
+            f"SPFA relaxations {self.spfa_relaxations}",
+        ]
+        if self.phase_time_s:
+            timing = ", ".join(
+                f"{name} {dt * 1000:.1f}ms"
+                for name, dt in sorted(self.phase_time_s.items())
+            )
+            parts.append(f"phases: {timing}")
+        return "; ".join(parts)
+
+
+# ----------------------------------------------------------------------
+# the current collector
+# ----------------------------------------------------------------------
+_current: SchedulerTelemetry | None = None
+
+
+def current() -> SchedulerTelemetry | None:
+    """The collector installed by the innermost :func:`collect`, if any."""
+    return _current
+
+
+@contextmanager
+def collect(telemetry: SchedulerTelemetry) -> Iterator[SchedulerTelemetry]:
+    """Install ``telemetry`` as the current collector for the block."""
+    global _current
+    previous = _current
+    _current = telemetry
+    try:
+        yield telemetry
+    finally:
+        _current = previous

@@ -5,8 +5,10 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import telemetry
 from repro.flownet.graph import FlowNetwork
 from repro.flownet.spfa import extract_path, spfa
+from repro.telemetry import SchedulerTelemetry
 
 
 def line_graph(costs):
@@ -72,6 +74,87 @@ class TestHandCases:
         net.add_edge(0, 1, 1.0)
         _, parent = spfa(net, 0)
         assert extract_path(net, parent, 0, 0) == []
+
+
+class TestEdgeCases:
+    def test_negative_source_rejected(self):
+        with pytest.raises(IndexError, match="out of range"):
+            spfa(FlowNetwork(3), -1)
+
+    def test_source_equal_to_n_nodes_rejected(self):
+        with pytest.raises(IndexError):
+            spfa(FlowNetwork(3), 3)
+
+    def test_unreachable_negative_cycle_does_not_raise(self):
+        """A negative cycle the source cannot reach is irrelevant:
+        distances from the source must still come back."""
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 1.0, cost=2.0)
+        net.add_edge(2, 3, 1.0, cost=-5.0)  # cycle 2 <-> 3, unreachable
+        net.add_edge(3, 2, 1.0, cost=-5.0)
+        dist, _ = spfa(net, 0)
+        assert dist[1] == 2.0
+        assert dist[2] == float("inf") and dist[3] == float("inf")
+
+    def test_negative_cycle_error_names_the_source(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 1.0, cost=-1.0)
+        net.add_edge(1, 0, 1.0, cost=-1.0)
+        with pytest.raises(ValueError, match="source 0"):
+            spfa(net, 0)
+
+    def test_cycle_hidden_behind_saturated_edge(self):
+        """With skip_saturated (the residual-graph default) a saturated
+        edge cuts the source off from a negative cycle; traversing
+        saturated edges re-exposes it."""
+        net = FlowNetwork(3)
+        gate = net.add_edge(0, 1, 1.0, cost=0.0)
+        net.add_edge(1, 2, 1.0, cost=-4.0)
+        net.add_edge(2, 1, 1.0, cost=-4.0)
+        net.push(gate, 1.0)  # saturate the only way in
+        dist, _ = spfa(net, 0)
+        assert dist[1] == float("inf")
+        with pytest.raises(ValueError, match="negative-cost cycle"):
+            spfa(net, 0, skip_saturated=False)
+
+    def test_skip_saturated_false_traverses_saturated_chain(self):
+        """Turning off the residual-graph filter walks straight through
+        saturated edges (and the zero-residual reverse edges become
+        traversable too, without manufacturing a negative cycle here:
+        every forward/reverse pair cancels to a zero-cost loop)."""
+        net = FlowNetwork(3)
+        gate = net.add_edge(0, 1, 1.0, cost=1.0)
+        net.add_edge(1, 2, 1.0, cost=1.0)
+        net.push(gate, 1.0)
+        dist, _ = spfa(net, 0)
+        assert dist == [0.0, float("inf"), float("inf")]
+        dist, parent = spfa(net, 0, skip_saturated=False)
+        assert dist == [0.0, 1.0, 2.0]
+        path = extract_path(net, parent, 0, 2)
+        assert [net.edges[e].head for e in path] == [1, 2]
+
+    def test_single_node_graph(self):
+        dist, parent = spfa(FlowNetwork(1), 0)
+        assert dist == [0.0] and parent == [-1]
+
+    def test_relaxations_reported_to_telemetry(self):
+        net = line_graph([1.0, 1.0, 1.0])
+        tele = SchedulerTelemetry()
+        with telemetry.collect(tele):
+            spfa(net, 0)
+        assert tele.spfa_relaxations == 3  # one relaxation per line edge
+        # Without a collector the counter stays untouched and nothing
+        # crashes — the common path for direct library use.
+        spfa(net, 0)
+        assert tele.spfa_relaxations == 3
+
+    def test_telemetry_accumulates_across_calls(self):
+        net = line_graph([1.0, 2.0])
+        tele = SchedulerTelemetry()
+        with telemetry.collect(tele):
+            spfa(net, 0)
+            spfa(net, 0)
+        assert tele.spfa_relaxations == 4
 
 
 @settings(max_examples=50, deadline=None)

@@ -62,6 +62,29 @@ class TestLifecycle:
             s.running_containers for s in b.samples
         ]
 
+    def test_byte_identical_metrics_across_runs(self, trace):
+        """Two runs with the same trace, scheduler and seed serialise to
+        byte-identical metrics — including the telemetry counters (SPFA
+        relaxations, IL/DL prunes, cache hit/miss/invalidation totals),
+        which must therefore be free of wall-clock or iteration-order
+        nondeterminism.  Wall times are excluded by design."""
+        cfg = OnlineConfig(ticks=12, seed=7)
+        a = OnlineSimulator(trace, cfg).run(AladdinScheduler())
+        b = OnlineSimulator(trace, cfg).run(AladdinScheduler())
+        assert a.canonical_json() == b.canonical_json()
+        assert a.canonical_json().encode() == b.canonical_json().encode()
+        # The serialisation must actually cover the telemetry.
+        assert '"telemetry"' in a.canonical_json()
+        assert a.telemetry.counters() == b.telemetry.counters()
+        assert a.telemetry.cache_hits > 0  # churn exercised the cache
+
+    def test_canonical_json_excludes_wall_times(self, trace):
+        cfg = OnlineConfig(ticks=8, seed=1)
+        result = OnlineSimulator(trace, cfg).run(AladdinScheduler())
+        assert result.total_elapsed_s > 0.0
+        assert "elapsed" not in result.canonical_json()
+        assert "phase" not in result.canonical_json()
+
     def test_seed_changes_schedule(self, trace):
         a = OnlineSimulator(trace, OnlineConfig(ticks=10, seed=1)).run(
             AladdinScheduler()

@@ -20,7 +20,7 @@ from repro.cluster.container import Application, containers_of
 from repro.cluster.machine import MachineSpec
 from repro.cluster.state import ClusterState
 from repro.cluster.topology import build_cluster
-from repro.core import AladdinConfig, AladdinScheduler
+from repro.core import AladdinConfig, AladdinScheduler, FlowPathSearch
 
 
 @st.composite
@@ -132,6 +132,42 @@ def test_violating_set_matches_state(data):
     # every reported violating container is actually deployed
     for cid in result.violating:
         assert cid in result.placements
+
+
+@settings(max_examples=25, deadline=None)
+@given(workloads())
+def test_cache_is_invisible_across_engines(data):
+    """Four-way differential: the production engine and the reference
+    flow-network engine, each with the cross-round feasibility cache
+    enabled and disabled, place every randomized workload identically.
+
+    This is the property the cache's correctness argument reduces to —
+    a cached query must be indistinguishable from a cold
+    ``state.feasible_mask`` call, in *both* engines, on arbitrary
+    constraint mixes.  Each engine schedules twice, each round against a
+    fresh state: round one exercises within-round reuse (shared
+    signatures, requeue and repair re-queries), round two exercises the
+    cache's rebind-and-reset path — a new ``state_uid`` must drop every
+    stale verdict.
+    """
+    apps, n_machines = data
+    engines = [
+        AladdinScheduler(),
+        AladdinScheduler(AladdinConfig(enable_feasibility_cache=False)),
+        FlowPathSearch(),
+        FlowPathSearch(AladdinConfig(enable_feasibility_cache=False)),
+    ]
+    for round_no in range(2):
+        outcomes = []
+        for engine in engines:
+            state = ClusterState(
+                build_cluster(n_machines), ConstraintSet.from_applications(apps)
+            )
+            result = engine.schedule(containers_of(apps), state)
+            outcomes.append((result.placements, dict(result.undeployed)))
+        first = outcomes[0]
+        for other in outcomes[1:]:
+            assert other == first
 
 
 @settings(max_examples=25, deadline=None)
