@@ -1,0 +1,140 @@
+"""Fig. 12+ ablation report: the optimisation trajectory as JSON.
+
+Runs the online churn workload through the cumulative optimisation
+stack — plain Aladdin, +IL+DL, +cross-round cache, +batch kernel — and
+writes the latency trajectory to ``BENCH_fig12.json``.  This is the
+committed, re-measurable form of the repository's performance claims:
+each variant reports best-of-N scheduling wall time, the deterministic
+machines-examined counter, and the telemetry that proves the variant's
+optimisation was actually in play.
+
+Entry point (also wired into CI as a non-gating smoke job)::
+
+    PYTHONPATH=src python -m benchmarks.bench_report            # full
+    PYTHONPATH=src python -m benchmarks.bench_report --smoke    # CI
+
+The defaults reproduce the acceptance-scale measurement: the 0.05-scale
+trace under ``machine_pool_factor=8.0`` yields a 4000-machine cluster,
+the scale at which the batched+cached vs cached-only ratio is asserted
+(≤ 0.7x) by ``bench_fig12_latency.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+from pathlib import Path
+
+from repro import AladdinConfig, AladdinScheduler, generate_trace
+from repro.sim import OnlineConfig, OnlineSimulator
+
+#: The cumulative ablation trajectory, in presentation order.  Each
+#: stage adds one optimisation on top of the previous stage.
+VARIANTS: dict[str, AladdinConfig] = {
+    "plain": AladdinConfig(
+        enable_il=False, enable_dl=False,
+        enable_feasibility_cache=False, enable_batch_kernel=False,
+    ),
+    "+IL+DL": AladdinConfig(
+        enable_feasibility_cache=False, enable_batch_kernel=False,
+    ),
+    "+cache": AladdinConfig(enable_batch_kernel=False),
+    "+batch": AladdinConfig(),  # everything on: the production default
+}
+
+
+def measure(
+    trace, cfg: OnlineConfig, variant: AladdinConfig, repeats: int
+) -> dict:
+    """Best-of-``repeats`` churn run of one scheduler variant."""
+    sim = OnlineSimulator(trace, cfg)
+    runs = [sim.run(AladdinScheduler(variant)) for _ in range(repeats)]
+    best = min(runs, key=lambda r: r.total_elapsed_s)
+    tele = best.telemetry
+    return {
+        "wall_time_ms": round(best.total_elapsed_s * 1000, 2),
+        "machines_examined": sum(s.explored for s in best.samples),
+        "failed": best.total_failed,
+        "migrations": best.total_migrations,
+        "peak_used_machines": best.peak_used_machines,
+        "cache_hits": tele.cache_hits,
+        "batch_kernel_invocations": tele.batch_kernel_invocations,
+        "index_resyncs": tele.index_resyncs,
+        "machines_skipped": tele.machines_skipped,
+    }
+
+
+def run_report(
+    scale: float,
+    seed: int,
+    ticks: int,
+    pool_factor: float,
+    repeats: int,
+) -> dict:
+    trace = generate_trace(scale=scale, seed=seed)
+    cfg = OnlineConfig(
+        ticks=ticks, seed=seed, machine_pool_factor=pool_factor
+    )
+    n_machines = max(
+        1, round(trace.config.n_machines * pool_factor)
+    )
+    report: dict = {
+        "figure": "Fig. 12+ (online churn ablation)",
+        "setup": {
+            "scale": scale,
+            "seed": seed,
+            "ticks": ticks,
+            "machine_pool_factor": pool_factor,
+            "n_machines": n_machines,
+            "n_containers": trace.n_containers,
+            "repeats": repeats,
+            "python": platform.python_version(),
+        },
+        "variants": {},
+    }
+    for name, variant in VARIANTS.items():
+        report["variants"][name] = measure(trace, cfg, variant, repeats)
+        print(
+            f"{name:>8}: {report['variants'][name]['wall_time_ms']:8.1f} ms, "
+            f"{report['variants'][name]['machines_examined']:>12,} machines examined"
+        )
+    cached = report["variants"]["+cache"]["wall_time_ms"]
+    batched = report["variants"]["+batch"]["wall_time_ms"]
+    report["batched_over_cached"] = round(batched / cached, 3) if cached else None
+    print(f"batched/cached wall-time ratio: {report['batched_over_cached']}")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fig. 12+ churn ablation -> BENCH_fig12.json"
+    )
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="trace scale (default 0.05 -> 4000 machines "
+                             "under the default pool factor)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--ticks", type=int, default=60)
+    parser.add_argument("--pool-factor", type=float, default=8.0)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="wall-time repetitions per variant (best-of)")
+    parser.add_argument("--out", default="BENCH_fig12.json",
+                        help="output path (default BENCH_fig12.json)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke mode: tiny scale, one repetition, "
+                             "no ratio assertion")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.scale, args.ticks, args.repeats = 0.02, 20, 1
+
+    report = run_report(
+        args.scale, args.seed, args.ticks, args.pool_factor, args.repeats
+    )
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

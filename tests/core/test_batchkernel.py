@@ -1,0 +1,136 @@
+"""The batched block placement kernel against its sequential oracle.
+
+:func:`repro.core.batchkernel.block_plan` claims its quota prefix-sum
+reads off exactly the machine sequence the per-container packed-first
+walk would produce.  The oracle here *is* that walk, written naively:
+take the first candidate that still fits, decrement its remaining
+capacity, honour within-anti-affinity by dropping used machines (or
+whole racks).  Every property test compares the two on randomized
+clusters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.constraints import ConstraintSet
+from repro.cluster.container import Application, Container
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import build_cluster
+from repro.core.batchkernel import block_plan
+
+
+def fresh_state(n_machines=8, apps=(), machines_per_rack=4):
+    return ClusterState(
+        build_cluster(n_machines, machines_per_rack=machines_per_rack),
+        ConstraintSet.from_applications(list(apps)),
+    )
+
+
+def deploy(state, app_id, machine_id, cpu=4.0, mem=8.0):
+    deploy._next = getattr(deploy, "_next", 0) + 1
+    c = Container(container_id=30_000 + deploy._next, app_id=app_id,
+                  instance=0, cpu=cpu, mem_gb=mem)
+    state.deploy(c, machine_id)
+
+
+def sequential_oracle(state, demand, candidates, k, within_scope):
+    """The per-container walk, literally: first fitting candidate wins."""
+    avail = state.available[candidates].copy()
+    used_machines: set[int] = set()
+    used_racks: set[int] = set()
+    out = []
+    for _ in range(k):
+        chosen = None
+        for j, m in enumerate(candidates):
+            if within_scope == "machine" and int(m) in used_machines:
+                continue
+            if within_scope == "rack" and (
+                int(state.topology.rack_of[m]) in used_racks
+            ):
+                continue
+            if (avail[j] >= demand).all():
+                chosen = j
+                break
+        if chosen is None:
+            break
+        out.append(int(candidates[chosen]))
+        avail[chosen] -= demand
+        used_machines.add(int(candidates[chosen]))
+        used_racks.add(int(state.topology.rack_of[candidates[chosen]]))
+    return out
+
+
+class TestBlockPlan:
+    def test_empty_candidates_or_zero_k(self):
+        state = fresh_state()
+        demand = np.array([4.0, 8.0])
+        empty = np.empty(0, dtype=np.int64)
+        assert block_plan(state, demand, empty, 3, None).size == 0
+        ids = np.arange(4, dtype=np.int64)
+        assert block_plan(state, demand, ids, 0, None).size == 0
+
+    def test_fill_then_spill_in_candidate_order(self):
+        # 32 CPU machines, 8-CPU containers: 4 per machine, then spill.
+        state = fresh_state(n_machines=3)
+        demand = np.array([8.0, 8.0])
+        cands = np.array([2, 0, 1], dtype=np.int64)
+        plan = block_plan(state, demand, cands, 10, None)
+        assert plan.tolist() == [2, 2, 2, 2, 0, 0, 0, 0, 1, 1]
+
+    def test_partial_fit_prefix_when_quotas_run_dry(self):
+        state = fresh_state(n_machines=2)
+        deploy(state, 0, 0, cpu=28.0, mem=8.0)   # machine 0: 4 CPU left
+        deploy(state, 0, 1, cpu=24.0, mem=8.0)   # machine 1: 8 CPU left
+        demand = np.array([4.0, 4.0])
+        cands = np.array([0, 1], dtype=np.int64)
+        plan = block_plan(state, demand, cands, 5, None)
+        assert plan.tolist() == [0, 1, 1]  # 3 of 5; remainder overflows
+
+    def test_machine_scope_takes_one_per_machine(self):
+        state = fresh_state(n_machines=4)
+        demand = np.array([4.0, 8.0])
+        cands = np.array([3, 1, 0, 2], dtype=np.int64)
+        plan = block_plan(state, demand, cands, 3, "machine")
+        assert plan.tolist() == [3, 1, 0]
+
+    def test_rack_scope_takes_first_machine_per_rack(self):
+        # 8 machines, 4 per rack: candidates interleave racks; the plan
+        # keeps the first representative of each rack in order.
+        state = fresh_state(n_machines=8, machines_per_rack=4)
+        demand = np.array([4.0, 8.0])
+        cands = np.array([1, 0, 5, 2, 6], dtype=np.int64)  # racks 0,0,1,0,1
+        plan = block_plan(state, demand, cands, 4, "rack")
+        assert plan.tolist() == [1, 5]
+
+    def test_fractional_demand_quota_floors(self):
+        state = fresh_state(n_machines=1)
+        demand = np.array([5.0, 5.0])  # floor(32/5)=6, floor(64/5)=12 → 6
+        cands = np.array([0], dtype=np.int64)
+        plan = block_plan(state, demand, cands, 10, None)
+        assert plan.tolist() == [0] * 6
+
+    def test_zero_demand_dimension_does_not_divide_by_zero(self):
+        state = fresh_state(n_machines=1)
+        demand = np.array([4.0, 0.0])
+        cands = np.array([0], dtype=np.int64)
+        plan = block_plan(state, demand, cands, 3, None)
+        assert plan.tolist() == [0, 0, 0]
+
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("scope", [None, "machine", "rack"])
+    def test_matches_sequential_oracle(self, seed, scope):
+        rng = np.random.default_rng(seed)
+        state = fresh_state(n_machines=12, machines_per_rack=3)
+        # Pre-load random machines so quotas vary.
+        for m in range(12):
+            load = float(rng.choice([0.0, 8.0, 16.0, 24.0, 28.0]))
+            if load:
+                deploy(state, 0, m, cpu=load, mem=load)
+        demand = np.array([float(rng.choice([2.0, 4.0, 8.0]))] * 2)
+        # Candidates: the feasible machines in a random preference order
+        # (block_plan's contract: every candidate fits ≥ 1 container).
+        feasible = np.flatnonzero((state.available >= demand).all(axis=1))
+        cands = rng.permutation(feasible).astype(np.int64)
+        k = int(rng.integers(1, 20))
+        plan = block_plan(state, demand, cands, k, scope)
+        assert plan.tolist() == sequential_oracle(state, demand, cands, k, scope)
