@@ -140,9 +140,12 @@ def cmd_online(args) -> int:
             seed=args.seed,
         ),
     )
-    if args.scheduler == "Aladdin" and args.no_cache:
+    if args.scheduler == "Aladdin" and (args.no_cache or args.no_batch):
         scheduler = AladdinScheduler(
-            AladdinConfig(enable_feasibility_cache=False)
+            AladdinConfig(
+                enable_feasibility_cache=not args.no_cache,
+                enable_batch_kernel=not args.no_batch,
+            )
         )
     else:
         scheduler = factories[args.scheduler]()
@@ -255,6 +258,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cache", action="store_true",
                    help="disable the cross-round feasibility cache "
                         "(Aladdin only; cached-vs-cold ablation)")
+    p.add_argument("--no-batch", action="store_true",
+                   help="disable the batched block placement kernel "
+                        "(Aladdin only; batched-vs-loop ablation)")
     p.set_defaults(fn=cmd_online)
 
     p = sub.add_parser("experiments",

@@ -27,6 +27,10 @@ from repro.cluster.topology import ClusterTopology
 #: cross-round caches key their entries on this uid.
 _state_uids = itertools.count()
 
+#: shared "nothing changed" answer of :meth:`ClusterState.dirty_array_since`
+#: (callers treat it as read-only)
+_NO_DIRTY = np.empty(0, dtype=np.int64)
+
 
 class ClusterState:
     """Resource and deployment state of a cluster during scheduling.
@@ -113,6 +117,22 @@ class ClusterState:
         if version < self._log_base:
             return None
         return set(self._dirty_log[version - self._log_base :])
+
+    def dirty_array_since(self, version: int) -> np.ndarray | None:
+        """Like :meth:`dirty_since`, as a deduplicated ascending array.
+
+        The array form is what the hot-path consumers (the feasibility
+        cache and the packed-first machine index) index with directly,
+        skipping the Python-set round trip.  Callers must treat the
+        result as read-only.
+        """
+        if version >= self.version:
+            return _NO_DIRTY
+        if version < self._log_base:
+            return None
+        return np.unique(
+            np.asarray(self._dirty_log[version - self._log_base :], dtype=np.int64)
+        )
 
     # ------------------------------------------------------------------
     # queries

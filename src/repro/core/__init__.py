@@ -7,6 +7,10 @@
   ``source → T → A → G → R → N → sink`` flow network (Section III.A);
 * :mod:`~repro.core.search` — the optimised maximum-flow search with
   isomorphism limiting and depth limiting (Algorithm 1, Section IV.A);
+* :mod:`~repro.core.machindex` — the incrementally maintained
+  packed-first machine ordering shared by both engines;
+* :mod:`~repro.core.batchkernel` — the batched block placement kernel
+  (one vectorized sweep per application block);
 * :mod:`~repro.core.migration` — priority-aware preemption and
   migration (Section III.B, Fig. 3 and Fig. 7);
 * :mod:`~repro.core.scheduler` — :class:`AladdinScheduler`, the
@@ -15,8 +19,10 @@
 
 from repro.core.config import AladdinConfig
 from repro.core.weights import derive_priority_weights, weighted_flow_value
+from repro.core.batchkernel import block_plan
 from repro.core.blacklist import BlacklistFunction
 from repro.core.feascache import FeasibilityCache
+from repro.core.machindex import MachineIndex
 from repro.core.network_builder import LayeredNetwork, build_layered_network
 from repro.core.scheduler import AladdinScheduler
 from repro.core.search import FlowPathSearch
@@ -27,6 +33,8 @@ __all__ = [
     "weighted_flow_value",
     "BlacklistFunction",
     "FeasibilityCache",
+    "MachineIndex",
+    "block_plan",
     "LayeredNetwork",
     "build_layered_network",
     "AladdinScheduler",

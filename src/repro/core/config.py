@@ -33,6 +33,18 @@ class AladdinConfig:
         the IL/DL ablations honest).  Placements are provably identical
         with the cache on or off; the differential test harness replays
         randomized churn to enforce that.
+    enable_batch_kernel:
+        Place each application block in one vectorized sweep
+        (:mod:`repro.core.batchkernel`) over the incrementally
+        maintained packed-first machine index
+        (:mod:`repro.core.machindex`) instead of one machine scan per
+        container.  Only active together with ``enable_il`` *and*
+        ``enable_dl`` — the kernel is the vectorized composition of the
+        two prunings, so disabling either falls back to the
+        per-container loop (and keeps the Fig. 12 IL/DL ablation
+        honest).  Placements are provably identical with the kernel on
+        or off; the differential harness replays randomized churn
+        across the batched×loop axis to enforce that.
     window_apps:
         Scheduling-window width in applications.  Containers inside one
         window are re-ordered by weighted flow (priority); windows model
@@ -63,6 +75,7 @@ class AladdinConfig:
     enable_migration: bool = True
     enable_preemption: bool = True
     enable_feasibility_cache: bool = True
+    enable_batch_kernel: bool = True
     window_apps: int = 64
     migration_candidates: int = 16
     max_migrations_per_container: int = 16

@@ -114,15 +114,14 @@ class FeasibilityCache:
             self._entries[key] = _Entry(fit=fit, version=state.version)
             self._count(hits=0, misses=n, invalidations=0)
         else:
-            dirty = state.dirty_since(entry.version)
+            dirty = state.dirty_array_since(entry.version)
             if dirty is None:
                 # The log no longer reaches this far back: recompute.
                 entry.fit = (state.available >= demand).all(axis=1)
                 self._count(hits=0, misses=n, invalidations=n)
-            elif dirty:
-                ids = np.fromiter(dirty, dtype=np.int64, count=len(dirty))
-                entry.fit[ids] = (state.available[ids] >= demand).all(axis=1)
-                stale = int(ids.size)
+            elif dirty.size:
+                entry.fit[dirty] = (state.available[dirty] >= demand).all(axis=1)
+                stale = int(dirty.size)
                 self._count(hits=n - stale, misses=stale, invalidations=stale)
             else:
                 self._count(hits=n, misses=0, invalidations=0)

@@ -18,6 +18,14 @@ prunings of Section IV.A:
   a container stops at its first admitting machine (a single ``argmin``
   over the packed-first score instead of a full candidate ordering).
 
+With both prunings on, the per-container walk collapses further into
+the **batched placement kernel** (:mod:`repro.core.batchkernel`): the
+block's machine sequence is read off per-machine fit quotas over the
+incrementally maintained packed-first index
+(:mod:`repro.core.machindex`) in one vectorized pass, O(m + k) for a
+block of k containers.  ``enable_batch_kernel`` (on by default) gates
+it; overflow and rescue still run the per-container path.
+
 Disabling either flag performs the exact extra work the pruning avoids —
 per-container feasibility recomputation without IL, a full candidate
 ordering per container without DL — while provably producing identical
@@ -39,8 +47,10 @@ from repro import telemetry
 from repro.base import FailureReason, ScheduleResult, Scheduler
 from repro.cluster.container import Container
 from repro.cluster.state import ClusterState
+from repro.core.batchkernel import block_plan
 from repro.core.config import AladdinConfig
 from repro.core.feascache import FeasibilityCache
+from repro.core.machindex import MachineIndex, affinity_tier, packing_keys
 from repro.core.migration import RescuePlanner
 from repro.core.weights import derive_priority_weights
 
@@ -55,6 +65,10 @@ class AladdinScheduler(Scheduler):
         self.last_weights: dict[int, float] = {}
         #: cross-round IL feasibility verdicts (survives schedule() calls)
         self.feas_cache = FeasibilityCache()
+        #: incrementally maintained packed-first machine ordering
+        self.machine_index = MachineIndex()
+        #: lifetime count of containers placed by the batch kernel
+        self.batch_placed = 0
 
     # ------------------------------------------------------------------
     def schedule(
@@ -130,6 +144,45 @@ class AladdinScheduler(Scheduler):
         return state.feasible_mask(demand, app_id)
 
     # ------------------------------------------------------------------
+    def _batch_place(
+        self,
+        block: list[Container],
+        state: ClusterState,
+        demand: np.ndarray,
+        mask: np.ndarray,
+        affinity: np.ndarray | None,
+        result: ScheduleResult,
+    ) -> int:
+        """Deploy the block's prefix in one vectorized kernel sweep.
+
+        Returns the number of containers placed.  Anything short of the
+        full block means every candidate quota is exhausted; the caller
+        routes the remainder through the rescue path.
+        """
+        app_id = block[0].app_id
+        cs = state.constraints
+        scope = cs.within_scope(app_id) if cs.has_within(app_id) else None
+        order = self.machine_index.candidates(state, mask, affinity)
+        machines = block_plan(state, demand, order, len(block), scope)
+        for container, machine in zip(block, machines):
+            machine = int(machine)
+            state.deploy(container, machine, demand)
+            result.placements[container.container_id] = machine
+        placed = int(machines.size)
+        self.batch_placed += placed
+        # One examined machine per placement, mirroring the DL walk's
+        # per-container O(1) charge.
+        result.explored += placed
+        tele = result.telemetry
+        if tele is not None:
+            tele.batch_kernel_invocations += 1
+            tele.dl_prune_hits += placed
+            tele.machines_skipped += state.n_machines - int(
+                np.unique(machines).size
+            )
+        return placed
+
+    # ------------------------------------------------------------------
     def _place_block(
         self,
         block: list[Container],
@@ -147,15 +200,28 @@ class AladdinScheduler(Scheduler):
 
         affinity = state.affinity_mask(app_id)
         candidates: _CandidateWalk | None = None
+        pending = block
         if cfg.enable_il:
             mask = self._feasible_mask(state, demand, app_id, result)
-            candidates = _CandidateWalk(
-                state, demand, mask, within, cfg.enable_dl, affinity=affinity
-            )
+            if cfg.enable_dl and cfg.enable_batch_kernel:
+                placed = self._batch_place(
+                    block, state, demand, mask, affinity, result
+                )
+                pending = block[placed:]
+                if pending and placed:
+                    # The kernel drained every quota; refresh the mask
+                    # (now empty bar rounding) so the overflow
+                    # containers fall straight through to rescue, as
+                    # the per-container walk would at this exact point.
+                    mask = self._feasible_mask(state, demand, app_id, result)
+            if pending:
+                candidates = _CandidateWalk(
+                    state, demand, mask, within, cfg.enable_dl, affinity=affinity
+                )
 
         tele = result.telemetry
         dead_reason: FailureReason | None = None
-        for container in block:
+        for container in pending:
             if dead_reason is not None:
                 # IL: an identical sibling already failed search + rescue
                 # against unchanged state; skip without re-searching.
@@ -459,14 +525,15 @@ def _scores(
     Machines hosting an affine application rank before all others (the
     soft Borg-style preference); within a tier the order is most-packed
     first with the machine id as the final tie-break, which keeps the
-    order total and both engines reproducible.
+    order total and both engines reproducible.  The key and tier terms
+    are shared with :mod:`repro.core.machindex`, whose incrementally
+    maintained order must stay bit-identical to this scratch scoring.
     """
-    score = state.available[ids, 0] * (state.n_machines + 1) + ids.astype(
-        np.float64
-    )
+    score = packing_keys(state, ids)
     if affinity is not None:
-        tier = 32.0 * (state.n_machines + 1) + state.n_machines + 1
-        score = score + np.where(affinity[ids], 0.0, tier)
+        score = score + np.where(
+            affinity[ids], 0.0, affinity_tier(state.n_machines)
+        )
     return score
 
 

@@ -31,6 +31,7 @@ from repro.cluster.state import ClusterState
 from repro.core.blacklist import BlacklistFunction
 from repro.core.config import AladdinConfig
 from repro.core.feascache import FeasibilityCache
+from repro.core.machindex import MachineIndex
 from repro.core.migration import RescuePlanner
 from repro.core.network_builder import LayeredNetwork, build_layered_network
 from repro.core.scheduler import _derive_weights_for, _group_blocks
@@ -49,6 +50,10 @@ class FlowPathSearch(Scheduler):
         #: cross-round IL feasibility verdicts, shared semantics with
         #: the vectorised engine (the differential harness compares both)
         self.feas_cache = FeasibilityCache()
+        #: incrementally maintained packed-first ordering; replaces the
+        #: per-container full argsort whenever the cache yields an
+        #: admit mask to restrict it to
+        self.machine_index = MachineIndex()
 
     # ------------------------------------------------------------------
     def schedule(
@@ -116,6 +121,7 @@ class FlowPathSearch(Scheduler):
                     container, demand, state, network, blacklist, result
                 )
                 if machine is None:
+                    version_before = state.version
                     outcome = planner.rescue(container, demand)
                     result.explored += outcome.explored
                     if outcome.ok and state.would_violate(
@@ -131,15 +137,24 @@ class FlowPathSearch(Scheduler):
                         result.preemptions += len(outcome.preempted)
                         requeue.extend(outcome.preempted)
                         machine = outcome.machine_id
-                        # Rescue mutated machine loads outside the
-                        # network; rebuild so residuals stay truthful.
                         state.deploy(container, machine, demand)
                         result.placements[container.container_id] = machine
-                        flat = [c for c in flat if c.container_id not in
-                                result.placements and c.container_id not in
-                                result.undeployed]
-                        network = build_layered_network(flat, state)
-                        self.last_network = network
+                        # Rescue mutated machine loads outside the
+                        # network; only the touched machines' sink
+                        # residuals can have gone stale (interior edges
+                        # are infinite), so patch those in place instead
+                        # of rebuilding the whole network per rescue.
+                        touched = state.dirty_array_since(version_before)
+                        if touched is None:
+                            # Dirty log compacted past us: fall back to
+                            # the full rebuild over the live containers.
+                            flat = [c for c in flat if c.container_id not in
+                                    result.placements and c.container_id not in
+                                    result.undeployed]
+                            network = build_layered_network(flat, state)
+                            self.last_network = network
+                        else:
+                            _patch_residuals(network, state, touched)
                         continue
                     result.undeployed[container.container_id] = outcome.failure
                     if self.config.enable_il:
@@ -186,16 +201,37 @@ class FlowPathSearch(Scheduler):
         ``VectorCapacity`` + blacklist pair afresh; the admitted set is
         identical — ``capacity.admits`` *is* Equation 6 ∧ Equation 8,
         which is exactly what ``ClusterState.feasible_mask`` vectorises.
+        On that path the exploration order comes from the incrementally
+        maintained :class:`~repro.core.machindex.MachineIndex`
+        restricted to the admit mask — no per-container ``argsort`` over
+        every machine — and the first candidate *is* the answer, since
+        every entry of the restricted order is admitted by construction.
         """
         from repro.core.scheduler import _scores
 
         cfg = self.config
-        admit: np.ndarray | None = None
+        tele = result.telemetry
         if cfg.enable_il and cfg.enable_feasibility_cache:
             admit = self.feas_cache.feasible_mask(
                 state, demand, container.app_id
             )
             result.explored += self.feas_cache.last_recomputed
+            order = self.machine_index.candidates(
+                state, admit, state.affinity_mask(container.app_id)
+            )
+            if tele is not None:
+                tele.machines_skipped += state.n_machines - int(order.size)
+            if order.size == 0:
+                return None
+            if cfg.enable_dl:
+                result.explored += 1
+                if tele is not None:
+                    tele.dl_prune_hits += 1
+            else:
+                # No DL: the whole admitted candidate set is the honest
+                # exploration cost; the winner is unchanged.
+                result.explored += int(order.size)
+            return int(order[0])
 
         order = np.argsort(
             _scores(
@@ -205,22 +241,17 @@ class FlowPathSearch(Scheduler):
             ),
             kind="stable",
         )
-        tele = result.telemetry
         chosen: int | None = None
         for machine_id in order:
             machine_id = int(machine_id)
             result.explored += 1
-            if admit is not None:
-                admitted = bool(admit[machine_id])
-            else:
-                capacity = VectorCapacity(
-                    state.available[machine_id],
-                    predicate=lambda _d, ctx: blacklist.admits(
-                        container.app_id, ctx
-                    ),
-                )
-                admitted = capacity.admits(demand, machine_id)
-            if admitted:
+            capacity = VectorCapacity(
+                state.available[machine_id],
+                predicate=lambda _d, ctx: blacklist.admits(
+                    container.app_id, ctx
+                ),
+            )
+            if capacity.admits(demand, machine_id):
                 if chosen is None:
                     chosen = machine_id
                 if cfg.enable_dl:
@@ -271,3 +302,27 @@ class FlowPathSearch(Scheduler):
             self.last_network.source,
             self.last_network.sink,
         )
+
+
+def _patch_residuals(
+    network: LayeredNetwork,
+    state: ClusterState,
+    touched: np.ndarray,
+    flow_dim: int = 0,
+) -> None:
+    """Re-truthify the sink residuals of rescue-touched machines.
+
+    Every interior edge of the layered network is infinite; only the
+    machine → sink edges carry state-dependent capacity, so a rescue
+    that migrates or preempts containers can only stale *those* — and
+    only for the machines the dirty log reports as touched.  Setting
+    ``capacity = flow + available`` keeps the already-pushed flow
+    feasible (``validate_flow`` stays green: flow ≤ capacity by
+    construction) while restoring the invariant ``residual ==
+    state.available[m, flow_dim]`` that :meth:`FlowPathSearch._augment`
+    relies on for subsequent pushes.
+    """
+    net = network.net
+    for m in touched:
+        edge = net.edges[network.machine_edge[int(m)]]
+        edge.capacity = edge.flow + float(state.available[int(m), flow_dim])

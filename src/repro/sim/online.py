@@ -85,6 +85,8 @@ class TickSample:
     explored: int = 0
     #: feasibility verdicts served from the cross-round cache this tick
     cache_hits: int = 0
+    #: application blocks placed by the batched kernel this tick
+    batch_invocations: int = 0
 
 
 @dataclass
@@ -149,6 +151,7 @@ class OnlineResult:
                     "violations": s.violations,
                     "explored": s.explored,
                     "cache_hits": s.cache_hits,
+                    "batch_invocations": s.batch_invocations,
                 }
                 for s in self.samples
             ],
@@ -209,6 +212,7 @@ class OnlineSimulator:
             failed = 0
             explored = 0
             cache_hits = 0
+            batch_invocations = 0
             if batch:  # 2. arrivals
                 schedule = scheduler.schedule(batch, state)
                 migrations = schedule.migrations
@@ -220,6 +224,7 @@ class OnlineSimulator:
                 result.total_elapsed_s += schedule.elapsed_s
                 if schedule.telemetry is not None:
                     cache_hits = schedule.telemetry.cache_hits
+                    batch_invocations = schedule.telemetry.batch_kernel_invocations
                     result.telemetry.merge(schedule.telemetry)
                 for c in batch:
                     if c.container_id in schedule.placements:
@@ -241,6 +246,7 @@ class OnlineSimulator:
                     violations=state.anti_affinity_violations(),
                     explored=explored,
                     cache_hits=cache_hits,
+                    batch_invocations=batch_invocations,
                 )
             )
             if idx >= len(apps) and not departures:

@@ -16,6 +16,14 @@ place all of those savings are *counted*:
 * ``cache_hits`` / ``cache_misses`` / ``cache_invalidations`` —
   per-machine feasibility verdicts served from, recomputed into, and
   discarded from the cross-round cache;
+* ``batch_kernel_invocations`` — application blocks placed by the
+  vectorized batch kernel (:mod:`repro.core.batchkernel`) instead of
+  the per-container walk;
+* ``index_resyncs`` — incremental dirty-log resyncs of the packed-first
+  machine index (:mod:`repro.core.machindex`), each replacing a full
+  O(m log m) re-sort;
+* ``machines_skipped`` — machines never scored because the admit mask
+  or the batch kernel's quota sweep excluded them up front;
 * ``phase_time_s`` — wall time per scheduler phase (search, rescue,
   requeue, repair).  Wall times are *not* part of the deterministic
   counter set: :meth:`SchedulerTelemetry.counters` excludes them so two
@@ -47,6 +55,9 @@ class SchedulerTelemetry:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_invalidations: int = 0
+    batch_kernel_invocations: int = 0
+    index_resyncs: int = 0
+    machines_skipped: int = 0
     #: phase name -> accumulated wall seconds (non-deterministic; kept
     #: out of :meth:`counters` on purpose)
     phase_time_s: dict[str, float] = field(default_factory=dict)
@@ -71,6 +82,9 @@ class SchedulerTelemetry:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_invalidations": self.cache_invalidations,
+            "batch_kernel_invocations": self.batch_kernel_invocations,
+            "index_resyncs": self.index_resyncs,
+            "machines_skipped": self.machines_skipped,
         }
 
     def add_phase_time(self, phase: str, seconds: float) -> None:
@@ -93,6 +107,9 @@ class SchedulerTelemetry:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.cache_invalidations += other.cache_invalidations
+        self.batch_kernel_invocations += other.batch_kernel_invocations
+        self.index_resyncs += other.index_resyncs
+        self.machines_skipped += other.machines_skipped
         for phase, dt in other.phase_time_s.items():
             self.add_phase_time(phase, dt)
 
@@ -106,6 +123,14 @@ class SchedulerTelemetry:
             f"DL prunes {self.dl_prune_hits}",
             f"SPFA relaxations {self.spfa_relaxations}",
         ]
+        if self.batch_kernel_invocations:
+            parts.append(
+                f"batch kernel {self.batch_kernel_invocations} blocks"
+            )
+        if self.index_resyncs:
+            parts.append(f"index resyncs {self.index_resyncs}")
+        if self.machines_skipped:
+            parts.append(f"machines skipped {self.machines_skipped}")
         if self.phase_time_s:
             timing = ", ".join(
                 f"{name} {dt * 1000:.1f}ms"

@@ -1,11 +1,14 @@
-"""Differential harness: cached vs cold-start engines under online churn.
+"""Differential harness: engine variants under identical online churn.
 
-The cross-round feasibility cache (:mod:`repro.core.feascache`) claims to
-be a pure optimisation: for every query it returns exactly what
-``state.feasible_mask`` would have computed from scratch.  This harness
-puts the claim under load.  Each replay drives *two instances of the
-same engine* — one with the cache enabled, one cold-started every round
-— through an identical randomized churn stream of arrivals, departures,
+The cross-round feasibility cache (:mod:`repro.core.feascache`) and the
+batched placement kernel (:mod:`repro.core.batchkernel` over the
+:mod:`repro.core.machindex` order) both claim to be pure optimisations:
+for every query they return exactly what the from-scratch computation —
+``state.feasible_mask``, the per-container packed-first walk — would
+have produced.  This harness puts the claims under load.  Each replay
+drives *multiple instances of the same engine* — cached vs cold,
+batched vs per-container loop, and the full product of both axes —
+through an identical randomized churn stream of arrivals, departures,
 machine failures and repairs (with the scheduler's own rescue
 migrations and preemptions firing along the way), and asserts after
 every tick that
@@ -14,12 +17,13 @@ every tick that
   failure verdicts,
 * the two cluster states are indistinguishable (assignments and
   remaining capacity), and
-* the cached run actually exercised the cache (hit-rate > 0), so the
-  equivalence is not vacuous.
+* the optimised run actually exercised its optimisation (cache
+  hit-rate > 0, kernel placements > 0), so the equivalence is not
+  vacuous.
 
 The replay logic never branches on engine output (all randomness comes
 from one seeded generator), so any divergence is attributable to the
-cache alone.
+variant under test alone.
 """
 
 import numpy as np
@@ -175,6 +179,24 @@ def aladdin_pair():
     ]
 
 
+def aladdin_batch_pair():
+    return [
+        AladdinScheduler(),  # batch kernel on by default
+        AladdinScheduler(AladdinConfig(enable_batch_kernel=False)),
+    ]
+
+
+def aladdin_grid():
+    """The batched×cached product of the vectorised engine."""
+    return [
+        AladdinScheduler(AladdinConfig(
+            enable_batch_kernel=batch, enable_feasibility_cache=cache,
+        ))
+        for batch in (True, False)
+        for cache in (True, False)
+    ]
+
+
 def flowpath_pair():
     return [
         FlowPathSearch(),
@@ -201,11 +223,25 @@ def test_flowpath_cached_matches_cold(seed):
     assert cold.feas_cache.hits == 0
 
 
+@pytest.mark.parametrize("seed", range(20))
+def test_aladdin_batched_matches_loop(seed):
+    """≥ 20 randomized churn replays across the batched×loop axis: the
+    default engine (batch kernel on) and its per-container-loop twin
+    agree on every placement at every tick, and the kernel is
+    demonstrably in play on the batched side only."""
+    batched, loop = churn_replay(seed, aladdin_batch_pair)
+    assert batched.batch_placed > 0, "replay never exercised the kernel"
+    assert loop.batch_placed == 0, "loop engine must not batch"
+
+
 @pytest.mark.parametrize("seed", [3, 11, 17])
-def test_all_four_engines_agree_under_churn(seed):
-    """Production engine × reference engine × cache on/off: one churn
-    stream, four engines, identical placements throughout."""
-    churn_replay(seed, lambda: aladdin_pair() + flowpath_pair())
+def test_engine_grid_agrees_under_churn(seed):
+    """The full batched×loop×cached×engine grid — four Aladdin variants
+    plus the reference flow engine with the cache on and off — replays
+    one churn stream with identical placements throughout."""
+    engines = churn_replay(seed, lambda: aladdin_grid() + flowpath_pair())
+    assert engines[0].batch_placed > 0
+    assert all(e.batch_placed == 0 for e in engines[2:4])
 
 
 def test_replay_exercises_mixed_churn():
