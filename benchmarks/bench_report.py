@@ -1,17 +1,22 @@
 """Fig. 12+ ablation report: the optimisation trajectory as JSON.
 
 Runs the online churn workload through the cumulative optimisation
-stack — plain Aladdin, +IL+DL, +cross-round cache, +batch kernel — and
-writes the latency trajectory to ``BENCH_fig12.json``.  This is the
-committed, re-measurable form of the repository's performance claims:
-each variant reports best-of-N scheduling wall time, the deterministic
-machines-examined counter, and the telemetry that proves the variant's
-optimisation was actually in play.
+stack — plain Aladdin, +IL+DL, +cross-round cache, +batch kernel,
++parallel workers — and writes the latency trajectory to
+``BENCH_fig12.json``.  This is the committed, re-measurable form of the
+repository's performance claims: each variant reports best-of-N
+scheduling wall time, the deterministic machines-examined counter, and
+the telemetry that proves the variant's optimisation was actually in
+play.
 
 Entry point (also wired into CI as a non-gating smoke job)::
 
     PYTHONPATH=src python -m benchmarks.bench_report            # full
     PYTHONPATH=src python -m benchmarks.bench_report --smoke    # CI
+
+``--smoke`` refuses to overwrite the committed ``BENCH_fig12.json``:
+it writes ``BENCH_fig12_smoke.json`` unless ``--out`` names another
+path explicitly (``--force`` overrides the guard).
 
 The defaults reproduce the acceptance-scale measurement: the 0.05-scale
 trace under ``machine_pool_factor=8.0`` yields a 4000-machine cluster,
@@ -23,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 from pathlib import Path
 
@@ -62,6 +68,7 @@ def measure(
         "batch_kernel_invocations": tele.batch_kernel_invocations,
         "index_resyncs": tele.index_resyncs,
         "machines_skipped": tele.machines_skipped,
+        "parallel_sweeps": tele.parallel_sweeps,
     }
 
 
@@ -71,6 +78,7 @@ def run_report(
     ticks: int,
     pool_factor: float,
     repeats: int,
+    workers: int = 4,
 ) -> dict:
     trace = generate_trace(scale=scale, seed=seed)
     cfg = OnlineConfig(
@@ -79,6 +87,9 @@ def run_report(
     n_machines = max(
         1, round(trace.config.n_machines * pool_factor)
     )
+    variants = dict(VARIANTS)
+    if workers > 1:
+        variants[f"+workers{workers}"] = AladdinConfig(workers=workers)
     report: dict = {
         "figure": "Fig. 12+ (online churn ablation)",
         "setup": {
@@ -89,21 +100,48 @@ def run_report(
             "n_machines": n_machines,
             "n_containers": trace.n_containers,
             "repeats": repeats,
+            "workers": workers,
+            "cpu_count": os.cpu_count(),
             "python": platform.python_version(),
         },
         "variants": {},
     }
-    for name, variant in VARIANTS.items():
+    for name, variant in variants.items():
         report["variants"][name] = measure(trace, cfg, variant, repeats)
         print(
-            f"{name:>8}: {report['variants'][name]['wall_time_ms']:8.1f} ms, "
+            f"{name:>10}: {report['variants'][name]['wall_time_ms']:8.1f} ms, "
             f"{report['variants'][name]['machines_examined']:>12,} machines examined"
         )
     cached = report["variants"]["+cache"]["wall_time_ms"]
     batched = report["variants"]["+batch"]["wall_time_ms"]
     report["batched_over_cached"] = round(batched / cached, 3) if cached else None
     print(f"batched/cached wall-time ratio: {report['batched_over_cached']}")
+    if workers > 1:
+        par = report["variants"][f"+workers{workers}"]["wall_time_ms"]
+        report["parallel_speedup"] = round(batched / par, 3) if par else None
+        print(
+            f"parallel speedup at {workers} workers "
+            f"({os.cpu_count()} CPUs visible): {report['parallel_speedup']}"
+        )
     return report
+
+
+def resolve_out(out: str | None, smoke: bool, force: bool) -> str:
+    """Output-path policy: smoke runs must not clobber the committed
+    full measurement.
+
+    Without ``--out`` the full run writes ``BENCH_fig12.json`` and the
+    smoke run writes ``BENCH_fig12_smoke.json``; a smoke run that
+    explicitly names ``BENCH_fig12.json`` is refused unless forced.
+    """
+    if out is None:
+        return "BENCH_fig12_smoke.json" if smoke else "BENCH_fig12.json"
+    if smoke and Path(out).name == "BENCH_fig12.json" and not force:
+        raise SystemExit(
+            "refusing to overwrite the committed BENCH_fig12.json with a "
+            "--smoke run; pick another --out or pass --force"
+        )
+    return out
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -118,21 +156,30 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--pool-factor", type=float, default=8.0)
     parser.add_argument("--repeats", type=int, default=3,
                         help="wall-time repetitions per variant (best-of)")
-    parser.add_argument("--out", default="BENCH_fig12.json",
-                        help="output path (default BENCH_fig12.json)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="shard workers for the parallel variant row "
+                             "(1 disables the row; default 4)")
+    parser.add_argument("--out", default=None,
+                        help="output path (default BENCH_fig12.json, or "
+                             "BENCH_fig12_smoke.json under --smoke)")
     parser.add_argument("--smoke", action="store_true",
                         help="CI smoke mode: tiny scale, one repetition, "
                              "no ratio assertion")
+    parser.add_argument("--force", action="store_true",
+                        help="allow a --smoke run to overwrite "
+                             "BENCH_fig12.json")
     args = parser.parse_args(argv)
 
     if args.smoke:
         args.scale, args.ticks, args.repeats = 0.02, 20, 1
+    out = resolve_out(args.out, args.smoke, args.force)
 
     report = run_report(
-        args.scale, args.seed, args.ticks, args.pool_factor, args.repeats
+        args.scale, args.seed, args.ticks, args.pool_factor, args.repeats,
+        workers=args.workers,
     )
-    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.out}")
+    Path(out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out}")
     return 0
 
 

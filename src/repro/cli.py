@@ -140,11 +140,14 @@ def cmd_online(args) -> int:
             seed=args.seed,
         ),
     )
-    if args.scheduler == "Aladdin" and (args.no_cache or args.no_batch):
+    if args.scheduler == "Aladdin" and (
+        args.no_cache or args.no_batch or args.workers > 1
+    ):
         scheduler = AladdinScheduler(
             AladdinConfig(
                 enable_feasibility_cache=not args.no_cache,
                 enable_batch_kernel=not args.no_batch,
+                workers=args.workers,
             )
         )
     else:
@@ -261,6 +264,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-batch", action="store_true",
                    help="disable the batched block placement kernel "
                         "(Aladdin only; batched-vs-loop ablation)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="processes for the rack-sharded parallel sweep "
+                        "(Aladdin only; 1 = serial, placements are "
+                        "bit-identical either way)")
     p.set_defaults(fn=cmd_online)
 
     p = sub.add_parser("experiments",

@@ -11,6 +11,9 @@
   packed-first machine ordering shared by both engines;
 * :mod:`~repro.core.batchkernel` — the batched block placement kernel
   (one vectorized sweep per application block);
+* :mod:`~repro.core.parallel` — the rack-sharded process-parallel
+  feasibility/scoring sweep (``AladdinConfig(workers=N)``),
+  bit-identical to the serial pipeline;
 * :mod:`~repro.core.migration` — priority-aware preemption and
   migration (Section III.B, Fig. 3 and Fig. 7);
 * :mod:`~repro.core.scheduler` — :class:`AladdinScheduler`, the
@@ -24,6 +27,7 @@ from repro.core.blacklist import BlacklistFunction
 from repro.core.feascache import FeasibilityCache
 from repro.core.machindex import MachineIndex
 from repro.core.network_builder import LayeredNetwork, build_layered_network
+from repro.core.parallel import ParallelSweep, merge_candidates, shard_bounds
 from repro.core.scheduler import AladdinScheduler
 from repro.core.search import FlowPathSearch
 
@@ -37,6 +41,9 @@ __all__ = [
     "block_plan",
     "LayeredNetwork",
     "build_layered_network",
+    "ParallelSweep",
+    "merge_candidates",
+    "shard_bounds",
     "AladdinScheduler",
     "FlowPathSearch",
 ]

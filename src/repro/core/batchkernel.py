@@ -19,6 +19,24 @@ harness replays both paths and asserts bit-identical placements).  A
 plan shorter than ``k`` means every quota is exhausted and the caller
 must route the remaining containers through the rescue path — exactly
 where the per-container walk would have handed over as well.
+
+Contract (inputs, shard invariants, determinism)
+------------------------------------------------
+``block_plan`` takes the live state, the block's demand vector, the
+admitting candidates in the engines' total preference order, the block
+size ``k`` and the within-anti-affinity scope; every candidate must
+admit at least one container (the feasibility mask guarantees it).
+The function is deterministic and pure — same inputs, same plan.
+
+Under the rack-sharded parallel sweep (:mod:`repro.core.parallel`) the
+kernel is also the *merge point*: the coordinator feeds it the union of
+per-shard candidate prefixes, re-ordered by the serial total order.
+Two shard invariants make that sound: racks never span shards, so the
+workers' shard-local rack deduplication composes into exactly the
+global ``within_scope == "rack"`` dedup below (re-deduping the merged
+set is a no-op on the same representatives); and a global prefix of
+``k`` candidates contains at most ``k`` per shard, so the per-shard
+``k``-prefixes always cover the global plan.
 """
 
 from __future__ import annotations

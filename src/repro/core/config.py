@@ -67,6 +67,18 @@ class AladdinConfig:
         LLA cannot be deployed, the whole application is rolled back
         and reported undeployed.  Off by default (the paper deploys
         partially); useful for LLAs that need full replica quorums.
+    workers:
+        Process count for the rack-sharded parallel feasibility/scoring
+        sweep (:mod:`repro.core.parallel`).  ``1`` (the default) keeps
+        the serial code path untouched — same-seed runs stay
+        byte-identical to previous releases.  With ``workers > 1`` the
+        per-block sweep fans out over rack-aligned machine shards held
+        in shared memory; it is only active together with ``enable_il``,
+        ``enable_dl``, ``enable_batch_kernel`` and
+        ``enable_feasibility_cache`` (the sweep parallelises exactly
+        that pipeline), and placements are provably bit-identical to
+        the serial path — the workers axis of
+        ``tests/test_differential.py`` enforces it under churn.
     """
 
     priority_weight_base: float = 16.0
@@ -81,6 +93,7 @@ class AladdinConfig:
     max_migrations_per_container: int = 16
     final_repair: bool = True
     gang_scheduling: bool = False
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.priority_weight_base < 1:
@@ -91,6 +104,8 @@ class AladdinConfig:
             raise ValueError("migration_candidates must be >= 0")
         if self.max_migrations_per_container < 0:
             raise ValueError("max_migrations_per_container must be >= 0")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
 
     def variant_name(self) -> str:
         """Human-readable policy name as used in Fig. 12 legends."""

@@ -27,6 +27,31 @@ dominance on each query, falling back to an exact re-scoring of the
 candidate set in the heterogeneous corner where it fails.  Either way
 the returned order is bit-identical to the scratch-built one, which is
 what lets the batch kernel promise placement-identical results.
+
+Contract (inputs, shard invariants, determinism)
+------------------------------------------------
+:meth:`MachineIndex.candidates` takes a state (anything exposing
+``available``, ``n_machines``, ``state_uid``, ``version`` and the
+dirty-log accessors — a full :class:`~repro.cluster.state.ClusterState`
+or a per-shard :class:`~repro.cluster.state.ShardView`), an optional
+boolean admit mask and an optional boolean affinity mask, both indexed
+by machine id in that state's id space.
+
+Under the rack-sharded parallel sweep (:mod:`repro.core.parallel`) one
+index instance lives in each worker process over its shard's
+``ShardView``; because the packed-first key of a machine depends only
+on its own ``available`` row and its id, per-shard orders concatenated
+in shard order relate to the global order by a single stable merge on
+the (tier-augmented) key — the coordinator's ``merge_candidates``
+exploits exactly this.  Shard-local ids translate to global ids by
+adding the shard's offset, which preserves the id tie-break since
+shards are contiguous, ascending id ranges.
+
+Determinism guarantee: given the same state contents, mask and
+affinity, ``candidates`` returns the same array, bit for bit,
+regardless of the resync history (incremental reinsertions vs a fresh
+rebuild) — the property the differential harness replays for, and the
+reason the parallel sweep can promise byte-identical placements.
 """
 
 from __future__ import annotations

@@ -52,6 +52,7 @@ from repro.core.config import AladdinConfig
 from repro.core.feascache import FeasibilityCache
 from repro.core.machindex import MachineIndex, affinity_tier, packing_keys
 from repro.core.migration import RescuePlanner
+from repro.core.parallel import ParallelSweep
 from repro.core.weights import derive_priority_weights
 
 
@@ -69,6 +70,24 @@ class AladdinScheduler(Scheduler):
         self.machine_index = MachineIndex()
         #: lifetime count of containers placed by the batch kernel
         self.batch_placed = 0
+        #: rack-sharded parallel sweep; only built when the whole
+        #: cache+index+kernel pipeline it parallelises is enabled, so
+        #: ``workers=1`` (the default) leaves the serial path untouched.
+        cfg = self.config
+        self.parallel: ParallelSweep | None = None
+        if (
+            cfg.workers > 1
+            and cfg.enable_il
+            and cfg.enable_dl
+            and cfg.enable_batch_kernel
+            and cfg.enable_feasibility_cache
+        ):
+            self.parallel = ParallelSweep(cfg.workers)
+
+    def close(self) -> None:
+        """Release parallel-sweep workers and shared memory (idempotent)."""
+        if self.parallel is not None:
+            self.parallel.close()
 
     # ------------------------------------------------------------------
     def schedule(
@@ -183,6 +202,47 @@ class AladdinScheduler(Scheduler):
         return placed
 
     # ------------------------------------------------------------------
+    def _parallel_place(
+        self,
+        block: list[Container],
+        state: ClusterState,
+        demand: np.ndarray,
+        result: ScheduleResult,
+    ) -> int:
+        """Deploy the block's prefix via the rack-sharded parallel sweep.
+
+        The sweep runs the per-shard feascache + machindex pipelines in
+        the worker processes and merges their candidate prefixes into
+        the serial order, so the planned machines — and therefore the
+        deploys below — are bit-identical to :meth:`_batch_place` over a
+        serially maintained cache and index.  The ``explored`` charge is
+        the honest parallel equivalent: dominance verdicts actually
+        recomputed across all shards, plus one per placement for the DL
+        walk.
+        """
+        app_id = block[0].app_id
+        cs = state.constraints
+        scope = cs.within_scope(app_id) if cs.has_within(app_id) else None
+        machines, recomputed, admitted = self.parallel.plan_block(
+            state, demand, app_id, len(block), scope
+        )
+        for container, machine in zip(block, machines):
+            machine = int(machine)
+            state.deploy(container, machine, demand)
+            result.placements[container.container_id] = machine
+        placed = int(machines.size)
+        self.batch_placed += placed
+        result.explored += recomputed + placed
+        tele = result.telemetry
+        if tele is not None:
+            tele.batch_kernel_invocations += 1
+            tele.dl_prune_hits += placed
+            tele.machines_skipped += state.n_machines - int(
+                np.unique(machines).size
+            )
+        return placed
+
+    # ------------------------------------------------------------------
     def _place_block(
         self,
         block: list[Container],
@@ -202,18 +262,38 @@ class AladdinScheduler(Scheduler):
         candidates: _CandidateWalk | None = None
         pending = block
         if cfg.enable_il:
-            mask = self._feasible_mask(state, demand, app_id, result)
-            if cfg.enable_dl and cfg.enable_batch_kernel:
-                placed = self._batch_place(
-                    block, state, demand, mask, affinity, result
-                )
+            if (
+                cfg.enable_dl
+                and cfg.enable_batch_kernel
+                and self.parallel is not None
+            ):
+                # The sharded sweep subsumes the coordinator-side
+                # feasibility evaluation; a mask is only rebuilt (from
+                # the coordinator's own cache) if overflow containers
+                # need the serial walk.
+                placed = self._parallel_place(block, state, demand, result)
                 pending = block[placed:]
-                if pending and placed:
-                    # The kernel drained every quota; refresh the mask
-                    # (now empty bar rounding) so the overflow
-                    # containers fall straight through to rescue, as
-                    # the per-container walk would at this exact point.
-                    mask = self._feasible_mask(state, demand, app_id, result)
+                mask = (
+                    self._feasible_mask(state, demand, app_id, result)
+                    if pending
+                    else None
+                )
+            else:
+                mask = self._feasible_mask(state, demand, app_id, result)
+                if cfg.enable_dl and cfg.enable_batch_kernel:
+                    placed = self._batch_place(
+                        block, state, demand, mask, affinity, result
+                    )
+                    pending = block[placed:]
+                    if pending and placed:
+                        # The kernel drained every quota; refresh the
+                        # mask (now empty bar rounding) so the overflow
+                        # containers fall straight through to rescue, as
+                        # the per-container walk would at this exact
+                        # point.
+                        mask = self._feasible_mask(
+                            state, demand, app_id, result
+                        )
             if pending:
                 candidates = _CandidateWalk(
                     state, demand, mask, within, cfg.enable_dl, affinity=affinity

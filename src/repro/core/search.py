@@ -34,6 +34,7 @@ from repro.core.feascache import FeasibilityCache
 from repro.core.machindex import MachineIndex
 from repro.core.migration import RescuePlanner
 from repro.core.network_builder import LayeredNetwork, build_layered_network
+from repro.core.parallel import ParallelSweep
 from repro.core.scheduler import _derive_weights_for, _group_blocks
 from repro.flownet.capacity import VectorCapacity
 from repro.flownet.validation import validate_flow
@@ -54,6 +55,22 @@ class FlowPathSearch(Scheduler):
         #: per-container full argsort whenever the cache yields an
         #: admit mask to restrict it to
         self.machine_index = MachineIndex()
+        #: rack-sharded parallel sweep for the cached+DL path; gated
+        #: exactly like the vectorised engine's (workers=1 → serial)
+        cfg = self.config
+        self.parallel: ParallelSweep | None = None
+        if (
+            cfg.workers > 1
+            and cfg.enable_il
+            and cfg.enable_dl
+            and cfg.enable_feasibility_cache
+        ):
+            self.parallel = ParallelSweep(cfg.workers)
+
+    def close(self) -> None:
+        """Release parallel-sweep workers and shared memory (idempotent)."""
+        if self.parallel is not None:
+            self.parallel.close()
 
     # ------------------------------------------------------------------
     def schedule(
@@ -211,6 +228,22 @@ class FlowPathSearch(Scheduler):
 
         cfg = self.config
         tele = result.telemetry
+        if self.parallel is not None:
+            # The sharded sweep answers the k=1 query: per-shard cached
+            # admission + index prefix, merged into the serial order —
+            # the winner is the exact machine ``order[0]`` below yields.
+            machines, recomputed, admitted = self.parallel.plan_block(
+                state, demand, container.app_id, 1, None
+            )
+            result.explored += recomputed
+            if tele is not None:
+                tele.machines_skipped += state.n_machines - admitted
+            if machines.size == 0:
+                return None
+            result.explored += 1
+            if tele is not None:
+                tele.dl_prune_hits += 1
+            return int(machines[0])
         if cfg.enable_il and cfg.enable_feasibility_cache:
             admit = self.feas_cache.feasible_mask(
                 state, demand, container.app_id

@@ -169,6 +169,17 @@ class OnlineSimulator:
         self._topology = build_cluster(n)
 
     def run(self, scheduler: Scheduler) -> OnlineResult:
+        try:
+            return self._run(scheduler)
+        finally:
+            # Schedulers may hold external resources (the parallel
+            # sweep's worker processes and shared memory); release them
+            # when the simulation is done with the scheduler.
+            close = getattr(scheduler, "close", None)
+            if callable(close):
+                close()
+
+    def _run(self, scheduler: Scheduler) -> OnlineResult:
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         state = ClusterState(self._topology, self.trace.constraints)

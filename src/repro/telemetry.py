@@ -24,10 +24,17 @@ place all of those savings are *counted*:
   O(m log m) re-sort;
 * ``machines_skipped`` — machines never scored because the admit mask
   or the batch kernel's quota sweep excluded them up front;
+* ``parallel_sweeps`` — application blocks planned by the rack-sharded
+  parallel sweep (:mod:`repro.core.parallel`) instead of the serial
+  cache+index pipeline;
 * ``phase_time_s`` — wall time per scheduler phase (search, rescue,
-  requeue, repair).  Wall times are *not* part of the deterministic
-  counter set: :meth:`SchedulerTelemetry.counters` excludes them so two
-  runs with the same seed serialise byte-identically.
+  requeue, repair);
+* ``worker_time_s`` — per-shard-worker wall seconds inside the parallel
+  sweep (the shard-imbalance signal: a skewed distribution means the
+  rack partition is lopsided).  Wall times are *not* part of the
+  deterministic counter set: :meth:`SchedulerTelemetry.counters`
+  excludes both dicts so two runs with the same seed serialise
+  byte-identically.
 
 Producers (SPFA, the candidate walk, the feasibility cache) report to a
 module-level *current collector* installed by the scheduler around each
@@ -58,9 +65,14 @@ class SchedulerTelemetry:
     batch_kernel_invocations: int = 0
     index_resyncs: int = 0
     machines_skipped: int = 0
+    parallel_sweeps: int = 0
     #: phase name -> accumulated wall seconds (non-deterministic; kept
     #: out of :meth:`counters` on purpose)
     phase_time_s: dict[str, float] = field(default_factory=dict)
+    #: shard worker name -> accumulated wall seconds inside the parallel
+    #: sweep (non-deterministic, excluded from :meth:`counters` like the
+    #: phase times; the spread across workers is the imbalance signal)
+    worker_time_s: dict[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -85,10 +97,17 @@ class SchedulerTelemetry:
             "batch_kernel_invocations": self.batch_kernel_invocations,
             "index_resyncs": self.index_resyncs,
             "machines_skipped": self.machines_skipped,
+            "parallel_sweeps": self.parallel_sweeps,
         }
 
     def add_phase_time(self, phase: str, seconds: float) -> None:
         self.phase_time_s[phase] = self.phase_time_s.get(phase, 0.0) + seconds
+
+    def add_worker_time(self, worker: str, seconds: float) -> None:
+        """Accumulate one shard worker's in-query wall time."""
+        self.worker_time_s[worker] = (
+            self.worker_time_s.get(worker, 0.0) + seconds
+        )
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -110,8 +129,11 @@ class SchedulerTelemetry:
         self.batch_kernel_invocations += other.batch_kernel_invocations
         self.index_resyncs += other.index_resyncs
         self.machines_skipped += other.machines_skipped
+        self.parallel_sweeps += other.parallel_sweeps
         for phase, dt in other.phase_time_s.items():
             self.add_phase_time(phase, dt)
+        for worker, dt in other.worker_time_s.items():
+            self.add_worker_time(worker, dt)
 
     def summary(self) -> str:
         """One-line human rendering for CLI run summaries."""
@@ -131,6 +153,14 @@ class SchedulerTelemetry:
             parts.append(f"index resyncs {self.index_resyncs}")
         if self.machines_skipped:
             parts.append(f"machines skipped {self.machines_skipped}")
+        if self.parallel_sweeps:
+            parts.append(f"parallel sweeps {self.parallel_sweeps}")
+        if self.worker_time_s:
+            spread = ", ".join(
+                f"{name} {dt * 1000:.1f}ms"
+                for name, dt in sorted(self.worker_time_s.items())
+            )
+            parts.append(f"workers: {spread}")
         if self.phase_time_s:
             timing = ", ".join(
                 f"{name} {dt * 1000:.1f}ms"

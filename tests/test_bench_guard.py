@@ -1,0 +1,46 @@
+"""The bench-report output-path guard (ISSUE 3 satellite fix).
+
+``benchmarks/bench_report.py --smoke`` used to clobber the committed
+full measurement in ``BENCH_fig12.json`` when run without ``--out``.
+The guard routes smoke output to ``BENCH_fig12_smoke.json`` by default
+and refuses an explicit ``--out BENCH_fig12.json`` unless forced.
+"""
+
+import pytest
+
+from benchmarks.bench_report import resolve_out
+
+
+def test_full_run_defaults_to_committed_path():
+    assert resolve_out(None, smoke=False, force=False) == "BENCH_fig12.json"
+
+
+def test_smoke_run_defaults_to_side_path():
+    assert (
+        resolve_out(None, smoke=True, force=False)
+        == "BENCH_fig12_smoke.json"
+    )
+
+
+def test_smoke_refuses_committed_path():
+    with pytest.raises(SystemExit, match="refusing to overwrite"):
+        resolve_out("BENCH_fig12.json", smoke=True, force=False)
+    # Any directory prefix still points at the committed artefact name.
+    with pytest.raises(SystemExit, match="refusing to overwrite"):
+        resolve_out("./BENCH_fig12.json", smoke=True, force=False)
+
+
+def test_smoke_allows_explicit_other_path():
+    # The CI smoke job writes to /tmp explicitly; that must keep working.
+    out = resolve_out("/tmp/BENCH_fig12_smoke.json", smoke=True, force=False)
+    assert out == "/tmp/BENCH_fig12_smoke.json"
+
+
+def test_force_overrides_the_guard():
+    out = resolve_out("BENCH_fig12.json", smoke=True, force=True)
+    assert out == "BENCH_fig12.json"
+
+
+def test_full_run_may_target_committed_path():
+    out = resolve_out("BENCH_fig12.json", smoke=False, force=False)
+    assert out == "BENCH_fig12.json"

@@ -7,7 +7,9 @@ for every query they return exactly what the from-scratch computation —
 ``state.feasible_mask``, the per-container packed-first walk — would
 have produced.  This harness puts the claims under load.  Each replay
 drives *multiple instances of the same engine* — cached vs cold,
-batched vs per-container loop, and the full product of both axes —
+batched vs per-container loop, parallel (rack-sharded worker
+processes, :mod:`repro.core.parallel`) vs serial, and the full
+product of those axes —
 through an identical randomized churn stream of arrivals, departures,
 machine failures and repairs (with the scheduler's own rescue
 migrations and preemptions firing along the way), and asserts after
@@ -96,6 +98,21 @@ def churn_replay(seed, make_engines, ticks=12, n_machines=24):
         ClusterState(build_cluster(n_machines, machines_per_rack=4), constraints)
         for _ in engines
     ]
+    try:
+        return _churn_replay(
+            rng, engines, states, apps, by_app, ticks, n_apps
+        )
+    finally:
+        # Engines may hold external resources (the parallel sweep's
+        # worker processes and shared memory); attribute reads on the
+        # returned engines stay valid after close().
+        for engine in engines:
+            close = getattr(engine, "close", None)
+            if callable(close):
+                close()
+
+
+def _churn_replay(rng, engines, states, apps, by_app, ticks, n_apps):
 
     arrival_tick = np.sort(rng.integers(0, ticks, n_apps))
     lifetimes = rng.integers(3, 10, n_apps)
@@ -204,6 +221,39 @@ def flowpath_pair():
     ]
 
 
+def aladdin_parallel_pair(workers=2):
+    return [
+        AladdinScheduler(),  # serial (workers=1 default)
+        AladdinScheduler(AladdinConfig(workers=workers)),
+    ]
+
+
+def aladdin_parallel_grid():
+    """The workers×batched×cached product of the vectorised engine.
+
+    The parallel sweep only activates with the whole cache+kernel
+    pipeline enabled, so the degraded variants double as a check that
+    the gating falls back to the serial path rather than diverging.
+    """
+    return [
+        AladdinScheduler(AladdinConfig(
+            workers=workers,
+            enable_batch_kernel=batch,
+            enable_feasibility_cache=cache,
+        ))
+        for workers in (1, 2, 3)
+        for batch in (True, False)
+        for cache in (True, False)
+    ]
+
+
+def flowpath_parallel_pair():
+    return [
+        FlowPathSearch(),
+        FlowPathSearch(AladdinConfig(workers=2)),
+    ]
+
+
 @pytest.mark.parametrize("seed", range(20))
 def test_aladdin_cached_matches_cold(seed):
     """≥ 20 randomized churn replays: the cached production engine and a
@@ -242,6 +292,49 @@ def test_engine_grid_agrees_under_churn(seed):
     engines = churn_replay(seed, lambda: aladdin_grid() + flowpath_pair())
     assert engines[0].batch_placed > 0
     assert all(e.batch_placed == 0 for e in engines[2:4])
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_aladdin_parallel_matches_serial(seed):
+    """≥ 20 randomized churn replays across the workers axis: the
+    rack-sharded parallel sweep and the serial engine agree on every
+    placement at every tick, and the sweep is demonstrably in play on
+    the parallel side only."""
+    serial, parallel = churn_replay(seed, aladdin_parallel_pair)
+    assert parallel.parallel is not None
+    assert parallel.parallel.sweeps > 0, "replay never exercised the sweep"
+    assert serial.parallel is None, "serial engine must not shard"
+
+
+@pytest.mark.parametrize("seed", [2, 9, 14])
+def test_aladdin_parallel_grid_agrees_under_churn(seed):
+    """The workers×batched×cached product — twelve engine variants,
+    including degraded configs where the sweep's gating must fall back
+    to the serial path — replays one churn stream with identical
+    placements throughout."""
+    engines = churn_replay(seed, aladdin_parallel_grid)
+    active = [e for e in engines if e.parallel is not None]
+    assert active, "grid contains no live parallel variant"
+    assert all(e.parallel.sweeps > 0 for e in active)
+    # Gating: the sweep must not have been built for degraded configs.
+    for e in engines:
+        cfg = e.config
+        expect = (
+            cfg.workers > 1
+            and cfg.enable_batch_kernel
+            and cfg.enable_feasibility_cache
+        )
+        assert (e.parallel is not None) == expect
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_flowpath_parallel_matches_serial(seed):
+    """The reference flow-network engine honours the same workers
+    contract on its cached k=1 queries."""
+    serial, parallel = churn_replay(seed, flowpath_parallel_pair)
+    assert parallel.parallel is not None
+    assert parallel.parallel.sweeps > 0
+    assert serial.parallel is None
 
 
 def test_replay_exercises_mixed_churn():

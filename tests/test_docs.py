@@ -1,0 +1,58 @@
+"""Documentation snippets must execute (ISSUE 3 satellite).
+
+Extracts every fenced ```python block from README.md and
+docs/ARCHITECTURE.md, concatenates each file's blocks in order (later
+snippets may build on earlier ones), and runs them in a fresh
+interpreter with ``PYTHONPATH=src`` — the same environment a reader
+copy-pasting from the docs would have.  A doc example that drifts from
+the API fails here, not on a reader's machine.
+"""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+_FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def python_blocks(path: Path) -> list[str]:
+    return _FENCE.findall(path.read_text())
+
+
+@pytest.mark.parametrize(
+    "relpath", ["README.md", "docs/ARCHITECTURE.md"]
+)
+def test_doc_snippets_execute(relpath):
+    path = REPO / relpath
+    blocks = python_blocks(path)
+    assert blocks, f"{relpath} has no ```python blocks to check"
+    script = "\n\n".join(blocks)
+    proc = subprocess.run(
+        [sys.executable, "-"],
+        input=script,
+        capture_output=True,
+        text=True,
+        timeout=240,
+        cwd=REPO,
+        env={
+            "PYTHONPATH": str(REPO / "src"),
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+        },
+    )
+    assert proc.returncode == 0, (
+        f"{relpath} snippets failed:\n--- script ---\n{script}\n"
+        f"--- stdout ---\n{proc.stdout}\n--- stderr ---\n{proc.stderr}"
+    )
+
+
+def test_architecture_doc_is_linked():
+    """The satellite contract: ARCHITECTURE.md exists and is reachable
+    from both README.md and docs/ALGORITHMS.md."""
+    assert (REPO / "docs" / "ARCHITECTURE.md").exists()
+    assert "docs/ARCHITECTURE.md" in (REPO / "README.md").read_text()
+    assert "ARCHITECTURE.md" in (REPO / "docs" / "ALGORITHMS.md").read_text()
