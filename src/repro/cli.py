@@ -141,12 +141,14 @@ def cmd_online(args) -> int:
         ),
     )
     if args.scheduler == "Aladdin" and (
-        args.no_cache or args.no_batch or args.workers > 1
+        args.no_cache or args.no_batch or args.no_rescue_kernel
+        or args.workers > 1
     ):
         scheduler = AladdinScheduler(
             AladdinConfig(
                 enable_feasibility_cache=not args.no_cache,
                 enable_batch_kernel=not args.no_batch,
+                enable_rescue_kernel=not args.no_rescue_kernel,
                 workers=args.workers,
             )
         )
@@ -264,6 +266,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-batch", action="store_true",
                    help="disable the batched block placement kernel "
                         "(Aladdin only; batched-vs-loop ablation)")
+    p.add_argument("--no-rescue-kernel", action="store_true",
+                   help="plan rescues with the legacy per-machine loop "
+                        "instead of the vectorized rescue kernel "
+                        "(Aladdin only; decisions are bit-identical "
+                        "either way)")
     p.add_argument("--workers", type=int, default=1,
                    help="processes for the rack-sharded parallel sweep "
                         "(Aladdin only; 1 = serial, placements are "

@@ -64,7 +64,14 @@ class ClusterState:
         self.assignment: dict[int, int] = {}
         #: container id -> Container (for eviction/migration bookkeeping)
         self._containers: dict[int, Container] = {}
-        #: machine id -> set of deployed container ids
+        #: machine id -> set of deployed container ids.  Iterating one
+        #: of these sets is deterministic for a given mutation history
+        #: (CPython int-set order depends only on the elements and
+        #: their insertion sequence) and stable between mutations of
+        #: that machine — the rescue kernel's resident ledger caches
+        #: per-machine summaries keyed to this enumeration order and
+        #: rebuilds them whenever the dirty log reports the machine
+        #: touched, which is exactly when the order may change.
         self.machine_containers: dict[int, set[int]] = {}
         #: app id -> {machine id -> number of its containers there}
         self.app_machines: dict[int, dict[int, int]] = {}

@@ -73,9 +73,14 @@ class FeasibilityCache:
         ``explored`` work counter.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, report_telemetry: bool = True) -> None:
         self._state_uid: int | None = None
         self._entries: dict[bytes, _Entry] = {}
+        #: report hit/miss/invalidation increments to the active
+        #: telemetry collector.  The rescue kernel's private dominance
+        #: cache runs quiet so the engine-level ``cache_*`` counters
+        #: keep meaning "search-path verdicts" across the rescue axis.
+        self.report_telemetry = report_telemetry
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -136,12 +141,49 @@ class FeasibilityCache:
         return fit.copy()
 
     # ------------------------------------------------------------------
+    def dominance_mask(
+        self, state: ClusterState, demand: np.ndarray
+    ) -> np.ndarray:
+        """Equation-6 verdicts only: ``(available >= demand).all(axis=1)``.
+
+        The app-independent half of :meth:`feasible_mask`, synchronised
+        the same way, but returned as the cache's *shared* entry array —
+        callers must treat it as read-only (copy before mutating).  The
+        rescue kernel queries this per mover/victim demand shape, where
+        allocating a fresh mask per query would negate the win over the
+        legacy loop's full scans.
+        """
+        if state.state_uid != self._state_uid:
+            self.reset()
+            self._state_uid = state.state_uid
+        n = state.n_machines
+        key = demand.tobytes()
+        entry = self._entries.get(key)
+        if entry is None:
+            fit = (state.available >= demand).all(axis=1)
+            self._entries[key] = _Entry(fit=fit, version=state.version)
+            self._count(hits=0, misses=n, invalidations=0)
+            return fit
+        dirty = state.dirty_array_since(entry.version)
+        if dirty is None:
+            entry.fit = (state.available >= demand).all(axis=1)
+            self._count(hits=0, misses=n, invalidations=n)
+        elif dirty.size:
+            entry.fit[dirty] = (state.available[dirty] >= demand).all(axis=1)
+            stale = int(dirty.size)
+            self._count(hits=n - stale, misses=stale, invalidations=stale)
+        else:
+            self._count(hits=n, misses=0, invalidations=0)
+        entry.version = state.version
+        return entry.fit
+
+    # ------------------------------------------------------------------
     def _count(self, hits: int, misses: int, invalidations: int) -> None:
         self.hits += hits
         self.misses += misses
         self.invalidations += invalidations
         self.last_recomputed = misses
-        tele = telemetry.current()
+        tele = telemetry.current() if self.report_telemetry else None
         if tele is not None:
             tele.cache_hits += hits
             tele.cache_misses += misses

@@ -187,6 +187,12 @@ class MachineIndex:
         the front.  Bit-identical to sorting ``flatnonzero(mask)`` by
         ``scheduler._scores`` — the contract the differential harness
         enforces through the batch kernel.
+
+        With ``mask is None`` and no ``affinity`` the *internal* order
+        array is returned directly to keep the rescue kernel's
+        per-attempt cost flat — callers on that path (and any caller
+        that may hold the result across a ``sync``) must treat it as
+        read-only.
         """
         self.sync(state)
         order = self._order

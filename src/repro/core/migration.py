@@ -40,11 +40,28 @@ class RescueOutcome:
     migrations: int = 0
     preempted: list[Container] = field(default_factory=list)
     explored: int = 0
+    #: candidate machines examined by the strategy loops (a decision
+    #: count, identical across the legacy/kernel paths by construction)
+    scanned: int = 0
     failure: FailureReason | None = None
 
     @property
     def ok(self) -> bool:
         return self.machine_id is not None
+
+
+def _rack_blocked(state: ClusterState, app_id: int, machine_id: int) -> bool:
+    """True when a rack-scoped within-rule dooms ``machine_id``:
+    relocating or evicting its residents cannot clear a conflict seated
+    on a rack-mate."""
+    cs = state.constraints
+    if not (cs.has_within(app_id) and cs.within_scope(app_id) == "rack"):
+        return False
+    rack = int(state.topology.rack_of[machine_id])
+    return any(
+        m != machine_id and int(state.topology.rack_of[m]) == rack
+        for m in state.app_machines.get(app_id, ())
+    )
 
 
 class RescuePlanner:
@@ -54,6 +71,12 @@ class RescuePlanner:
     honour the weighted-flow objective (Equation 9): a preemption whose
     victims carry at least as much weighted flow as the container being
     admitted would not increase the objective and is refused.
+
+    When an engine wires in a :class:`~repro.core.rescuekernel.RescueKernel`
+    (and its :class:`~repro.core.machindex.MachineIndex`), planning runs
+    through the kernel's cached/vectorized twin of the strategies below;
+    decisions are bit-identical — the legacy loop here is the oracle the
+    differential harness replays against.
     """
 
     def __init__(
@@ -61,10 +84,20 @@ class RescuePlanner:
         state: ClusterState,
         config: AladdinConfig,
         weights: dict[int, float] | None = None,
+        machine_index=None,
+        kernel=None,
     ) -> None:
         self.state = state
         self.config = config
         self.weights = weights or {}
+        self.machine_index = machine_index
+        self.kernel = kernel
+        if kernel is not None and machine_index is None:
+            # The kernel reads candidate orders off a machine index;
+            # grow a private one when the caller has none to share.
+            from repro.core.machindex import MachineIndex
+
+            self.machine_index = MachineIndex()
 
     def _weighted_flow(self, container: Container) -> float:
         return self.weights.get(container.priority, 1.0) * container.cpu
@@ -87,13 +120,33 @@ class RescuePlanner:
 
         Wall time is reported to the active telemetry collector as the
         ``rescue`` phase (it overlaps the caller's search phase — rescue
-        runs *inside* the search loop).
+        runs *inside* the search loop), alongside the deterministic
+        ``rescue_*`` counters: attempts, migrations, preemptions and
+        machines scanned are identical across the legacy/kernel paths
+        (the decisions are), while ``rescue_kernel_invocations`` tells
+        the two apart.
         """
         t0 = time.perf_counter()
+        tele = telemetry.current()
+        if tele is not None:
+            tele.rescue_attempts += 1
         try:
-            return self._rescue(container, demand, allow_preemption, exhaustive)
+            if self.kernel is not None:
+                out = self.kernel.rescue_plan(
+                    self, container, demand, allow_preemption, exhaustive
+                )
+                if tele is not None:
+                    tele.rescue_kernel_invocations += 1
+            else:
+                out = self._rescue(
+                    container, demand, allow_preemption, exhaustive
+                )
+            if tele is not None:
+                tele.rescue_migrations += out.migrations
+                tele.rescue_preemptions += len(out.preempted)
+                tele.rescue_machines_scanned += out.scanned
+            return out
         finally:
-            tele = telemetry.current()
             if tele is not None:
                 tele.add_phase_time("rescue", time.perf_counter() - t0)
 
@@ -160,6 +213,7 @@ class RescuePlanner:
         for machine_id in order:
             machine_id = int(machine_id)
             out.explored += 1
+            out.scanned += 1
             blockers = [
                 c
                 for c in state.deployed_containers(machine_id)
@@ -173,17 +227,8 @@ class RescuePlanner:
                 continue
             # Rack-scoped within-rules: relocating this machine's
             # residents cannot clear a conflict seated on a rack-mate.
-            if (
-                cs.has_within(container.app_id)
-                and cs.within_scope(container.app_id) == "rack"
-            ):
-                rack = int(state.topology.rack_of[machine_id])
-                if any(
-                    m != machine_id
-                    and int(state.topology.rack_of[m]) == rack
-                    for m in state.app_machines.get(container.app_id, ())
-                ):
-                    continue
+            if _rack_blocked(state, container.app_id, machine_id):
+                continue
             moves = self._plan_relocations(blockers, exclude=machine_id, out=out)
             if moves is None:
                 continue
@@ -209,12 +254,16 @@ class RescuePlanner:
         # Roomiest machines first: they need the fewest relocations.
         order = self._packed_first(candidates)[::-1]
         if not exhaustive:
-            order = order[: self.config.migration_candidates]
+            # max(1, …) like every other strategy bound: candidates=0
+            # means "cheapest possible scan", not "skip consolidation
+            # while migration still scans one machine".
+            order = order[: max(1, self.config.migration_candidates)]
         mover_limit = (
             state.n_machines if exhaustive else self.config.max_migrations_per_container
         )
         for machine_id in order:
             out.explored += 1
+            out.scanned += 1
             shortfall = demand - state.available[machine_id]
             movers: list[Container] = []
             freed = np.zeros_like(demand)
@@ -265,6 +314,7 @@ class RescuePlanner:
                 break
             scanned += 1
             out.explored += 1
+            out.scanned += 1
             residents = state.deployed_containers(machine_id)
             blockers = [
                 c for c in residents if cs.violates(container.app_id, c.app_id)
@@ -273,17 +323,8 @@ class RescuePlanner:
                 continue  # cannot displace an equal-or-higher priority blocker
             # Rack-scoped within-rules: evicting this machine's residents
             # cannot clear a conflict seated on a rack-mate.
-            if (
-                cs.has_within(container.app_id)
-                and cs.within_scope(container.app_id) == "rack"
-            ):
-                rack = int(state.topology.rack_of[machine_id])
-                if any(
-                    m != machine_id
-                    and int(state.topology.rack_of[m]) == rack
-                    for m in state.app_machines.get(container.app_id, ())
-                ):
-                    continue
+            if _rack_blocked(state, container.app_id, machine_id):
+                continue
             victims = list(blockers)
             freed = sum(
                 (v.demand_vector(state.topology.resources) for v in victims),
@@ -348,11 +389,22 @@ class RescuePlanner:
     # helpers
     # ------------------------------------------------------------------
     def _packed_first(self, mask: np.ndarray) -> np.ndarray:
-        """Candidate machine ids, most-packed (least available CPU) first."""
+        """Candidate machine ids, most-packed (least available CPU) first.
+
+        Sorted by the canonical packing key of
+        :func:`~repro.core.machindex.packing_keys` — the same total
+        order the incrementally maintained machine index serves the
+        rescue kernel, so the two paths agree machine for machine.
+        (The key folds the id tie-break into the score; it only differs
+        from a plain ``(cpu, id)`` lexicographic sort for sub-unit
+        fractional CPU gaps, where either order is a valid packing.)
+        """
+        from repro.core.machindex import packing_keys
+
         ids = np.flatnonzero(mask)
         if ids.size == 0:
             return ids
-        order = np.argsort(self.state.available[ids, 0], kind="stable")
+        order = np.argsort(packing_keys(self.state, ids), kind="stable")
         return ids[order]
 
     def _plan_relocations(

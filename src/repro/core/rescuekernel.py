@@ -1,0 +1,693 @@
+"""Vectorized rescue kernel: batched migration/consolidation/preemption.
+
+The legacy :class:`~repro.core.migration.RescuePlanner` strategies are
+pure-Python per-machine loops: every rescue attempt opens with a
+full-cluster ``(available >= demand).all(axis=1)`` scan, every candidate
+machine re-lists and re-sorts its residents, and every relocation query
+copies the whole ``available`` matrix to apply reservations.  At high
+utilization — the regime where the paper's Fig. 9/12 advantage is
+actually measured — nearly every blocked container triggers a rescue,
+so that per-rescue O(machines × dims) work dominates the round.
+
+The kernel re-plans the *same decisions* on the substrate PRs 1–3 built:
+
+* **Admit masks** come from a private, telemetry-quiet
+  :class:`~repro.core.feascache.FeasibilityCache` serving Equation-6
+  dominance verdicts per demand *shape* (movers and victims recycle a
+  handful of shapes), synchronised against the
+  :class:`~repro.cluster.state.ClusterState` dirty log — the full scan
+  per rescue becomes a per-dirty-machine update.
+* **Candidate orders** come from the engine's incrementally maintained
+  :class:`~repro.core.machindex.MachineIndex` instead of a fresh
+  ``argsort`` over all machines per strategy call.
+* **Resident summaries** (:class:`ResidentLedger`) cache, per machine:
+  the residents in their authoritative enumeration order, their
+  app/priority/demand arrays, the ``(priority, cpu)``-sorted
+  permutation, and the prefix-summed freeable demand in that order —
+  so consolidation's mover prefix is a ``searchsorted`` over cumulative
+  freed resources and preemption's victim sets are boolean masks, not
+  sorted Python loops.  Rows are dropped lazily for machines the dirty
+  log reports as touched.
+* **Relocation planning** tracks reservations sparsely: the dominance
+  mask is fixed up only on the handful of reserved machines instead of
+  copying ``available`` per mover.
+
+Decisions are bit-identical to the legacy loop — same machine freed,
+same victims in the same order, same failure verdicts — because every
+float is accumulated in the same sequence (``np.cumsum`` performs the
+legacy loop's left-to-right additions) and every tie-break replays the
+legacy order.  The rescue axis of ``tests/test_differential.py``
+enforces the equivalence under randomized churn; the unit oracles in
+``tests/core/test_rescuekernel.py`` pin each strategy against the
+legacy planner directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.base import FailureReason
+from repro.cluster.container import Container
+from repro.cluster.state import ClusterState
+from repro.core.feascache import FeasibilityCache
+
+
+@dataclass
+class _Residents:
+    """Per-machine resident summary (one :class:`ResidentLedger` row).
+
+    ``containers`` is in the machine's authoritative enumeration order
+    (what :meth:`ClusterState.deployed_containers` returns at the row's
+    build version — stable until the machine is next mutated, at which
+    point the dirty log drops the row).  ``by_prio_cpu`` is the stable
+    ``(priority, cpu)`` argsort of that order — the exact permutation
+    the legacy strategies' ``sorted(..., key=(priority, cpu))`` yields —
+    and ``sorted_cum`` the running demand sum along it, accumulated
+    left-to-right like the legacy mover loop.
+    """
+
+    containers: list[Container]
+    app_ids: np.ndarray  # int64, enumeration order
+    priorities: np.ndarray  # int64, enumeration order
+    demands: np.ndarray  # (k, dims) float64, enumeration order
+    by_prio_cpu: np.ndarray  # int64 permutation, stable (priority, cpu)
+    sorted_cum: np.ndarray  # (k, dims) cumsum of demands[by_prio_cpu]
+
+
+class ResidentLedger:
+    """Dirty-log-synchronised cache of per-machine resident summaries.
+
+    Rows are built lazily on first query and dropped for exactly the
+    machines the :class:`ClusterState` dirty log reports as touched —
+    the same synchronisation discipline as the feasibility cache and
+    the machine index.  A compacted log or an unfamiliar state instance
+    drops every row; the ledger degrades to per-query rebuilds, never
+    to stale residents.
+    """
+
+    def __init__(self) -> None:
+        self._state_uid: int | None = None
+        self._version: int = -1
+        self._rows: dict[int, _Residents] = {}
+        #: lifetime count of rows built (the ledger's work measure)
+        self.builds = 0
+
+    def sync(self, state: ClusterState) -> None:
+        """Drop rows for machines mutated since the last sync."""
+        if state.state_uid != self._state_uid:
+            self._rows.clear()
+            self._state_uid = state.state_uid
+            self._version = state.version
+            return
+        if state.version == self._version:
+            return
+        dirty = state.dirty_array_since(self._version)
+        if dirty is None:
+            self._rows.clear()
+        else:
+            for machine_id in dirty.tolist():
+                self._rows.pop(machine_id, None)
+        self._version = state.version
+
+    def row(self, state: ClusterState, machine_id: int) -> _Residents:
+        """The (synced) resident summary of ``machine_id``."""
+        self.sync(state)
+        row = self._rows.get(machine_id)
+        if row is None:
+            row = self._build(state, machine_id)
+            self._rows[machine_id] = row
+        return row
+
+    def _build(self, state: ClusterState, machine_id: int) -> _Residents:
+        containers = state.deployed_containers(machine_id)
+        k = len(containers)
+        dims = state.available.shape[1]
+        resources = state.topology.resources
+        app_ids = np.fromiter((c.app_id for c in containers), np.int64, k)
+        priorities = np.fromiter((c.priority for c in containers), np.int64, k)
+        if k:
+            demands = np.stack([c.demand_vector(resources) for c in containers])
+            cpus = np.fromiter((c.cpu for c in containers), np.float64, k)
+            # lexsort is stable: equal (priority, cpu) keep enumeration
+            # order, exactly like the legacy ``sorted`` call.
+            by_prio_cpu = np.lexsort((cpus, priorities)).astype(np.int64)
+            sorted_cum = np.cumsum(demands[by_prio_cpu], axis=0)
+        else:
+            demands = np.zeros((0, dims))
+            by_prio_cpu = np.empty(0, dtype=np.int64)
+            sorted_cum = np.zeros((0, dims))
+        self.builds += 1
+        return _Residents(
+            containers=containers,
+            app_ids=app_ids,
+            priorities=priorities,
+            demands=demands,
+            by_prio_cpu=by_prio_cpu,
+            sorted_cum=sorted_cum,
+        )
+
+
+class RescueKernel:
+    """Vectorized twin of the legacy rescue strategies.
+
+    One instance lives on each engine (next to its feasibility cache
+    and machine index) and survives across ``schedule()`` calls.  The
+    planner dispatches to :meth:`rescue_plan` when the kernel is
+    wired in (``AladdinConfig.enable_rescue_kernel``); the legacy loop
+    remains the oracle the differential harness replays against.
+    """
+
+    def __init__(self) -> None:
+        #: private Equation-6 dominance verdicts per demand shape.  Not
+        #: the engine's ``feas_cache``: rescue demand shapes would
+        #: perturb the search path's hit statistics, and the quiet mode
+        #: keeps engine-level ``cache_*`` telemetry counters meaning
+        #: "search-path verdicts" across the rescue axis.
+        self.dominance = FeasibilityCache(report_telemetry=False)
+        self.ledger = ResidentLedger()
+        #: app id -> [state uid, version, blacklist mask].  The live
+        #: Equation 7–8 blacklist is cheap once but the relocation
+        #: planner asks for the same few mover apps hundreds of times,
+        #: so the kernel keeps per-app masks synchronised against the
+        #: dirty log: a mutation on machine ``m`` can only flip verdict
+        #: ``m`` (an app's hosting set changes only where the log says
+        #: so), except for rack-scoped within-rules, where the dirty
+        #: set widens to every machine sharing a rack with a dirty one
+        #: — the same widening argument the feasibility cache documents.
+        self._forbidden: dict[int, list] = {}
+        #: (app id, demand bytes) -> (uid, version, ascending machine
+        #: ids admitting the pair).  The relocation planner's unit of
+        #: work, version-keyed like :attr:`_forbidden`: a failed plan
+        #: attempt leaves the state untouched, so consolidation's walk
+        #: over hundreds of candidate machines re-asks for the same few
+        #: (mover app, shape) pairs and each is answered O(1).
+        self._admissible: dict[
+            tuple[int, bytes], tuple[int, int, np.ndarray]
+        ] = {}
+        #: relocation-plan memo.  A plan attempt is fully determined by
+        #: (state uid, version, strategy key): consolidation's movers
+        #: are the ``(machine, prefix length)`` of the ledger row's
+        #: (priority, cpu) order, blocker migration's are the
+        #: ``(machine, app)`` blocker set.  Failed attempts leave the
+        #: state unmutated, so an exhaustive repair pass retrying the
+        #: same machines for many blocked containers shares one version
+        #: window — and most attempts are repeats of known failures.
+        #: Successful plans mutate the state, bumping the version, so a
+        #: hit can never replay a stale success.
+        self._plans: dict[tuple, tuple[int, int, list | None]] = {}
+        #: failed-rescue memo.  A rescue that ends in failure never
+        #: mutated the state, and its verdict is determined by the
+        #: (app, demand shape, flags, weights) of the attempt — during
+        #: exhaustive repair, sibling containers of one application
+        #: retry the identical hopeless rescue back to back.  The
+        #: stored ``scanned`` is replayed so the strategy-walk visit
+        #: counters stay bit-identical to the legacy loop's.
+        self._failures: dict[tuple, tuple] = {}
+        #: lifetime count of kernel-planned rescues
+        self.invocations = 0
+
+    def _forbidden_mask(self, state: ClusterState, app_id: int) -> np.ndarray:
+        """Incrementally synced ``state.forbidden_mask`` (read-only)."""
+        hit = self._forbidden.get(app_id)
+        if hit is None or hit[0] != state.state_uid:
+            mask = state.forbidden_mask(app_id)
+            self._forbidden[app_id] = [state.state_uid, state.version, mask]
+            return mask
+        if hit[1] == state.version:
+            return hit[2]
+        dirty = state.dirty_array_since(hit[1])
+        if dirty is None:
+            hit[2] = state.forbidden_mask(app_id)
+        elif dirty.size:
+            self._resync_forbidden(state, app_id, hit[2], dirty)
+        hit[1] = state.version
+        return hit[2]
+
+    def _resync_forbidden(
+        self,
+        state: ClusterState,
+        app_id: int,
+        mask: np.ndarray,
+        dirty: np.ndarray,
+    ) -> None:
+        """Recompute Equation 7–8 verdicts for the dirty machines only."""
+        cs = state.constraints
+        rack_within = (
+            cs.has_within(app_id) and cs.within_scope(app_id) == "rack"
+        )
+        if rack_within:
+            # A mutation can flip the verdict of every rack-mate.
+            rack_of = state.topology.rack_of
+            dirty = np.flatnonzero(
+                np.isin(rack_of, np.unique(rack_of[dirty]))
+            )
+        # Dirty sets are a handful of machines; hosting sets are the
+        # live ``app_machines`` entries.  Plain set intersections beat
+        # an ``np.isin`` per conflict partner by an order of magnitude
+        # at this size.
+        dirty_set = set(dirty.tolist())
+        hits: set[int] = set()
+        if cs.has_within(app_id):
+            hosting = state.app_machines.get(app_id)
+            if hosting:
+                if rack_within:
+                    rack_of = state.topology.rack_of
+                    racks = {int(rack_of[m]) for m in hosting}
+                    hits.update(
+                        m for m in dirty_set if int(rack_of[m]) in racks
+                    )
+                else:
+                    hits.update(hosting.keys() & dirty_set)
+        for other in cs.conflicts_of(app_id):
+            hosting = state.app_machines.get(other)
+            if hosting:
+                hits.update(hosting.keys() & dirty_set)
+        mask[dirty] = False
+        if hits:
+            mask[list(hits)] = True
+
+    def _admissible_ids(
+        self, state: ClusterState, app_id: int, demand: np.ndarray
+    ) -> np.ndarray:
+        """Ascending ids of machines admitting ``(app, demand shape)``.
+
+        Equation 6 ∧ ¬(Equation 7–8), memoised per state version —
+        read-only; callers filter with boolean keeps, never in place.
+        """
+        key = (app_id, demand.tobytes())
+        hit = self._admissible.get(key)
+        if (
+            hit is not None
+            and hit[0] == state.state_uid
+            and hit[1] == state.version
+        ):
+            return hit[2]
+        fit = self.dominance.dominance_mask(state, demand)
+        ids = np.flatnonzero(fit & ~self._forbidden_mask(state, app_id))
+        self._admissible[key] = (state.state_uid, state.version, ids)
+        return ids
+
+    # ------------------------------------------------------------------
+    def rescue_plan(self, planner, container, demand, allow_preemption, exhaustive):
+        """Mirror of ``RescuePlanner._rescue`` on the cached substrate."""
+        from repro.core.migration import RescueOutcome
+
+        self.invocations += 1
+        state = planner.state
+        config = planner.config
+        wkey = (
+            tuple(sorted(planner.weights.items()))
+            if planner.weights
+            else None
+        )
+        key = (
+            container.app_id,
+            demand.tobytes(),
+            allow_preemption,
+            exhaustive,
+            wkey,
+        )
+        hit = self._failures.get(key)
+        if (
+            hit is not None
+            and hit[0] == state.state_uid
+            and hit[1] == state.version
+        ):
+            out = RescueOutcome()
+            out.failure = hit[2]
+            out.scanned = hit[3]
+            out.explored = hit[4]
+            return out
+        version_in = state.version
+        out = RescueOutcome()
+        # The shared dominance entry replaces the legacy full-cluster
+        # scan; ``explored`` is charged the honest incremental cost
+        # (the verdicts actually recomputed), like the search path's
+        # cached feasibility queries.
+        fit = self.dominance.dominance_mask(state, demand)
+        out.explored += self.dominance.last_recomputed
+        forbidden = self._forbidden_mask(state, container.app_id)
+
+        if config.enable_migration:
+            machine = self._migrate_blockers(
+                planner, container, fit & forbidden, out, exhaustive
+            )
+            if machine is None:
+                machine = self._consolidate(
+                    planner, container, demand, ~fit & ~forbidden, out, exhaustive
+                )
+            if machine is not None:
+                out.machine_id = machine
+                return out
+        if allow_preemption and config.enable_preemption:
+            machine = self._preempt(planner, container, demand, out)
+            if machine is not None:
+                out.machine_id = machine
+                return out
+
+        blocked_only_by_affinity = bool((fit & forbidden).any()) and not bool(
+            (fit & ~forbidden).any()
+        )
+        out.failure = (
+            FailureReason.ANTI_AFFINITY
+            if blocked_only_by_affinity
+            else FailureReason.RESOURCES
+        )
+        if state.version == version_in:
+            self._failures[key] = (
+                state.state_uid,
+                version_in,
+                out.failure,
+                out.scanned,
+                out.explored,
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    def _blocker_mask(self, state, app_id: int, row: _Residents) -> np.ndarray:
+        """Boolean mask over ``row``'s residents violating ``app_id``.
+
+        Vectorizes ``constraints.violates(app_id, c.app_id)`` over the
+        resident app array: cross-application conflicts via ``isin``,
+        the within-rule via an equality test.
+        """
+        cs = state.constraints
+        conflicts = np.fromiter(cs.conflicts_of(app_id), np.int64)
+        mask = np.isin(row.app_ids, conflicts)
+        if cs.has_within(app_id):
+            mask |= row.app_ids == app_id
+        return mask
+
+    # ------------------------------------------------------------------
+    def _migrate_blockers(
+        self, planner, container, candidates, out, exhaustive
+    ) -> int | None:
+        from repro.core.migration import _rack_blocked
+
+        state = planner.state
+        config = planner.config
+        ids = np.flatnonzero(candidates)
+        if ids.size == 0:
+            return None
+        order = ids[np.argsort(state.container_count[ids], kind="stable")]
+        if not exhaustive:
+            order = order[: max(1, config.migration_candidates)]
+        app_id = container.app_id
+        for machine_id in order.tolist():
+            out.explored += 1
+            out.scanned += 1
+            row = self.ledger.row(state, machine_id)
+            bmask = self._blocker_mask(state, app_id, row)
+            n_blockers = int(np.count_nonzero(bmask))
+            if n_blockers == 0:
+                continue
+            if not exhaustive and (
+                n_blockers > config.max_migrations_per_container
+            ):
+                continue
+            if _rack_blocked(state, app_id, machine_id):
+                continue
+            bidx = np.flatnonzero(bmask)
+            moves = self._planned_relocations(
+                planner,
+                ("b", machine_id, app_id),
+                lambda: (
+                    [row.containers[i] for i in bidx.tolist()],
+                    row.demands[bidx],
+                ),
+                machine_id,
+                out,
+            )
+            if moves is None:
+                continue
+            for blocker, target in moves:
+                state.migrate(blocker.container_id, target)
+                out.migrations += 1
+            return machine_id
+        return None
+
+    # ------------------------------------------------------------------
+    def _consolidate(
+        self, planner, container, demand, candidates, out, exhaustive
+    ) -> int | None:
+        state = planner.state
+        config = planner.config
+        # Roomiest machines first: the maintained packed-first order,
+        # restricted to the candidate mask and reversed.
+        order = planner.machine_index.candidates(state, candidates)[::-1]
+        if not exhaustive:
+            order = order[: max(1, config.migration_candidates)]
+        mover_limit = (
+            state.n_machines
+            if exhaustive
+            else config.max_migrations_per_container
+        )
+        # One vectorized shortfall matrix for the whole walk instead of
+        # a small allocation per machine; plain-int count and deficient
+        # lists keep the per-machine iteration free of numpy scalar
+        # boxing (the walk visits every candidate, most of them dead
+        # ends).
+        shortfalls = demand - state.available[order]
+        counts = state.container_count[order].tolist()
+        n_res = shortfalls.shape[1]
+        deficient = (shortfalls > 0.0).tolist()
+        shortfall_rows = shortfalls.tolist()
+        for pos, machine_id in enumerate(order.tolist()):
+            out.explored += 1
+            out.scanned += 1
+            k = counts[pos]
+            if k == 0:
+                continue
+            row = self.ledger.row(state, machine_id)
+            # Minimal mover prefix of the (priority, cpu) order whose
+            # cumulative freed demand covers the shortfall on every
+            # deficient dimension: one searchsorted per such dimension
+            # (the cumsums are nondecreasing — demands are positive).
+            cum = row.sorted_cum
+            deficient_pos = deficient[pos]
+            shortfall = shortfall_rows[pos]
+            movers_needed = 1
+            feasible = True
+            for d in range(n_res):
+                if not deficient_pos[d]:
+                    continue
+                idx = int(
+                    cum[:, d].searchsorted(shortfall[d], side="left")
+                )
+                if idx >= k:
+                    feasible = False
+                    break
+                movers_needed = max(movers_needed, idx + 1)
+            if not feasible or movers_needed > mover_limit:
+                continue
+
+            def movers_fn(row=row, n=movers_needed):
+                mover_idx = row.by_prio_cpu[:n]
+                return (
+                    [row.containers[i] for i in mover_idx.tolist()],
+                    row.demands[mover_idx],
+                )
+
+            moves = self._planned_relocations(
+                planner,
+                ("c", machine_id, movers_needed),
+                movers_fn,
+                machine_id,
+                out,
+            )
+            if moves is None:
+                continue
+            for mover, target in moves:
+                state.migrate(mover.container_id, target)
+                out.migrations += 1
+            return machine_id
+        return None
+
+    # ------------------------------------------------------------------
+    def _preempt(self, planner, container, demand, out) -> int | None:
+        from repro.core.migration import _rack_blocked
+
+        state = planner.state
+        config = planner.config
+        order = planner.machine_index.candidates(state, None)
+        bound = max(1, config.migration_candidates) * 4
+        app_id = container.app_id
+        scanned = 0
+        for machine_id in order.tolist():
+            if scanned >= bound:
+                break
+            scanned += 1
+            out.explored += 1
+            out.scanned += 1
+            row = self.ledger.row(state, machine_id)
+            bmask = self._blocker_mask(state, app_id, row)
+            bidx = np.flatnonzero(bmask)
+            if bidx.size and int(
+                row.priorities[bidx].max()
+            ) >= container.priority:
+                continue  # cannot displace an equal-or-higher blocker
+            if _rack_blocked(state, app_id, machine_id):
+                continue
+            victim_rows = bidx.tolist()
+            victims = [row.containers[i] for i in victim_rows]
+            avail_m = state.available[machine_id]
+            if bidx.size:
+                blocker_cum = np.cumsum(row.demands[bidx], axis=0)
+                freed = blocker_cum[-1]
+            else:
+                freed = np.zeros_like(demand)
+            if not ((avail_m + freed) >= demand).all():
+                # Extend with strictly lower-priority residents in
+                # (priority, cpu) order until the machine fits, the
+                # same left-to-right accumulation as the legacy loop.
+                lower = [
+                    i
+                    for i in row.by_prio_cpu.tolist()
+                    if row.priorities[i] < container.priority
+                    and not bmask[i]
+                ]
+                if lower:
+                    seq = np.concatenate(
+                        [row.demands[bidx], row.demands[lower]], axis=0
+                    )
+                    cum = np.cumsum(seq, axis=0)
+                    fits_after = (
+                        (avail_m + cum[bidx.size :]) >= demand
+                    ).all(axis=1)
+                    hit = np.flatnonzero(fits_after)
+                    take = int(hit[0]) + 1 if hit.size else len(lower)
+                    victim_rows += lower[:take]
+                    victims += [row.containers[i] for i in lower[:take]]
+                    freed = cum[bidx.size + take - 1]
+            if not ((avail_m + freed) >= demand).all():
+                continue
+            # Equation 9 guard, accumulated in victim order like the
+            # legacy planner (victims are few; the guard is not the
+            # bottleneck and the float order must match bit for bit).
+            if planner.weights and sum(
+                planner._weighted_flow(v) for v in victims
+            ) >= planner._weighted_flow(container):
+                continue
+            victim_demands = row.demands[np.asarray(victim_rows, dtype=np.int64)]
+            moves = self._plan_relocations(
+                planner, victims, machine_id, out, demands=victim_demands
+            )
+            if moves is not None:
+                for victim, target in moves:
+                    state.migrate(victim.container_id, target)
+                    out.migrations += 1
+                return machine_id
+            for i, victim in enumerate(victims):
+                target = self._relocation_target(
+                    planner, victim, machine_id, out,
+                    demand=victim_demands[i],
+                )
+                if target is not None:
+                    state.migrate(victim.container_id, target)
+                    out.migrations += 1
+                else:
+                    state.evict(victim.container_id)
+                    out.preempted.append(victim)
+            return machine_id
+        return None
+
+    # ------------------------------------------------------------------
+    def _planned_relocations(
+        self, planner, key, movers_fn, exclude: int, out
+    ) -> list[tuple[Container, int]] | None:
+        """Version-keyed front of :meth:`_plan_relocations`.
+
+        ``key`` names the strategy-determined mover set (see
+        :attr:`_plans`); ``movers_fn`` lazily materialises the movers
+        and their demand rows only on a miss.  Hits skip the per-mover
+        ``explored`` charges — costs may differ from the legacy loop,
+        decisions never do.
+        """
+        state = planner.state
+        hit = self._plans.get(key)
+        if (
+            hit is not None
+            and hit[0] == state.state_uid
+            and hit[1] == state.version
+        ):
+            return hit[2]
+        movers, demands = movers_fn()
+        moves = self._plan_relocations(
+            planner, movers, exclude, out, demands=demands
+        )
+        self._plans[key] = (state.state_uid, state.version, moves)
+        return moves
+
+    def _plan_relocations(
+        self, planner, movers, exclude: int, out, demands=None
+    ) -> list[tuple[Container, int]] | None:
+        """Sparse-reservation twin of the legacy relocation planner.
+
+        The legacy loop recomputes a full admit mask and copies the
+        whole ``available`` matrix per mover to apply reservations;
+        here each mover starts from the memoised admissible-id list of
+        its ``(app, shape)`` pair and only the handful of excluded or
+        reserved machines are filtered out — reservations can only
+        *shrink* feasibility, so narrowing the cached verdicts is
+        exact.  ``demands`` optionally supplies the movers' demand rows
+        (the ledger already stacked them) to skip per-mover
+        ``demand_vector`` rebuilds.
+        """
+        state = planner.state
+        resources = state.topology.resources
+        reserved: dict[int, np.ndarray] = {}
+        plan: list[tuple[Container, int]] = []
+        for i, mover in enumerate(movers):
+            demand = (
+                demands[i] if demands is not None
+                else mover.demand_vector(resources)
+            )
+            ids = self._admissible_ids(state, mover.app_id, demand)
+            out.explored += 1
+            drop = [exclude]
+            for mover_prev, target_prev in plan:
+                if state.constraints.violates(mover.app_id, mover_prev.app_id):
+                    drop.append(target_prev)
+            for machine_id, used in reserved.items():
+                if not ((state.available[machine_id] - used) >= demand).all():
+                    drop.append(machine_id)
+            if ids.size and drop:
+                keep = np.ones(ids.size, dtype=bool)
+                for machine_id in drop:
+                    pos = int(ids.searchsorted(machine_id))
+                    if pos < ids.size and ids[pos] == machine_id:
+                        keep[pos] = False
+                ids = ids[keep]
+            if ids.size == 0:
+                return None
+            cpu = state.available[ids, 0]
+            if reserved:
+                cpu = cpu.copy()
+                for machine_id, used in reserved.items():
+                    pos = int(ids.searchsorted(machine_id))
+                    if pos < ids.size and ids[pos] == machine_id:
+                        cpu[pos] -= used[0]
+            target = int(ids[np.argmin(cpu)])
+            plan.append((mover, target))
+            reserved[target] = (
+                reserved.get(target, np.zeros_like(demand)) + demand
+            )
+        return plan
+
+    def _relocation_target(
+        self, planner, mover: Container, exclude: int, out, demand=None
+    ) -> int | None:
+        """Cached-dominance twin of ``RescuePlanner._relocation_target``."""
+        state = planner.state
+        if demand is None:
+            demand = mover.demand_vector(state.topology.resources)
+        ids = self._admissible_ids(state, mover.app_id, demand)
+        out.explored += 1
+        pos = int(ids.searchsorted(exclude))
+        if pos < ids.size and ids[pos] == exclude:
+            ids = np.delete(ids, pos)
+        if ids.size == 0:
+            return None
+        return int(ids[np.argmin(state.available[ids, 0])])

@@ -53,6 +53,7 @@ from repro.core.feascache import FeasibilityCache
 from repro.core.machindex import MachineIndex, affinity_tier, packing_keys
 from repro.core.migration import RescuePlanner
 from repro.core.parallel import ParallelSweep
+from repro.core.rescuekernel import RescueKernel
 from repro.core.weights import derive_priority_weights
 
 
@@ -70,6 +71,11 @@ class AladdinScheduler(Scheduler):
         self.machine_index = MachineIndex()
         #: lifetime count of containers placed by the batch kernel
         self.batch_placed = 0
+        #: vectorized rescue planning on the cache+index substrate;
+        #: ``None`` routes rescues through the legacy per-machine loop
+        self.rescue_kernel = (
+            RescueKernel() if self.config.enable_rescue_kernel else None
+        )
         #: rack-sharded parallel sweep; only built when the whole
         #: cache+index+kernel pipeline it parallelises is enabled, so
         #: ``workers=1`` (the default) leaves the serial path untouched.
@@ -116,7 +122,13 @@ class AladdinScheduler(Scheduler):
         # makes rescue outcomes invariant across the paper's
         # 16/32/64/128 base sweep.
         guard_weights = _derive_weights_for(containers, self.config, base=1.0)
-        planner = RescuePlanner(state, self.config, guard_weights)
+        planner = RescuePlanner(
+            state,
+            self.config,
+            guard_weights,
+            machine_index=self.machine_index,
+            kernel=self.rescue_kernel,
+        )
 
         window = self.config.window_apps
         for start in range(0, len(blocks), window):
@@ -131,10 +143,10 @@ class AladdinScheduler(Scheduler):
                 for block in window_blocks:
                     self._place_block(block, state, planner, result, requeue)
             with tele.phase("requeue"):
-                self._drain_requeue(requeue, state, planner, result)
+                drain_requeue(self, requeue, state, planner, result)
         if self.config.final_repair and result.undeployed:
             with tele.phase("repair"):
-                self._final_repair(containers, state, planner, result)
+                final_repair(self, containers, state, planner, result)
         # Rescue migrations move already-placed containers; re-read their
         # final machine from the authoritative state.
         for cid in result.placements:
@@ -400,113 +412,143 @@ class AladdinScheduler(Scheduler):
                 del result.placements[cid]
             result.undeployed[cid] = reason
 
-    # ------------------------------------------------------------------
-    def _drain_requeue(
-        self,
-        requeue: list[Container],
-        state: ClusterState,
-        planner: RescuePlanner,
-        result: ScheduleResult,
-    ) -> None:
-        """Re-place preemption victims at the end of the window.
 
-        Victims may rescue via migration but not by preempting again —
-        preemption chains are cut at depth one, which is safe because a
-        victim is strictly lower priority than its preemptor.
-        """
-        for container in requeue:
+# ----------------------------------------------------------------------
+# engine-shared rescue passes
+# ----------------------------------------------------------------------
+def drain_requeue(
+    engine,
+    requeue: list[Container],
+    state: ClusterState,
+    planner: RescuePlanner,
+    result: ScheduleResult,
+) -> None:
+    """Re-place preemption victims at the end of the window.
+
+    Victims may rescue via migration but not by preempting again —
+    preemption chains are cut at depth one, which is safe because a
+    victim is strictly lower priority than its preemptor.
+
+    Shared by both engines (``engine`` exposes ``config`` and
+    ``feas_cache``), for the same reason as :func:`final_repair`: the
+    flow engine used to drop a victim the moment no machine admitted it
+    directly, while the vectorised engine migrated to make room — on a
+    tight cluster that single asymmetry makes the engines' placements
+    drift apart for the rest of the run.
+    """
+    config = engine.config
+    for container in requeue:
+        demand = container.demand_vector(state.topology.resources)
+        if config.enable_il and config.enable_feasibility_cache:
+            mask = engine.feas_cache.feasible_mask(
+                state, demand, container.app_id
+            )
+            result.explored += engine.feas_cache.last_recomputed
+        else:
+            result.explored += state.n_machines
+            mask = state.feasible_mask(demand, container.app_id)
+        machine = _pick_machine(state, mask, dl=True)
+        if machine is None:
+            outcome = planner.rescue(container, demand, allow_preemption=False)
+            result.explored += outcome.explored
+            if outcome.ok:
+                result.migrations += outcome.migrations
+                machine = outcome.machine_id
+        if machine is None:
+            # The victim was deployed once; retract that placement.
+            result.placements.pop(container.container_id, None)
+            result.undeployed[container.container_id] = FailureReason.PREEMPTED
+            continue
+        state.deploy(container, machine, demand)
+        # A victim that lands again was migrated, in effect.
+        prev = result.placements.get(container.container_id)
+        result.placements[container.container_id] = machine
+        if prev is not None and prev != machine:
+            result.migrations += 1
+
+
+def final_repair(
+    engine,
+    containers: list[Container],
+    state: ClusterState,
+    planner: RescuePlanner,
+    result: ScheduleResult,
+) -> None:
+    """Exhaustively retry every undeployed container (Fig. 7 spirit).
+
+    Highest priority first; each retry gets an unbounded rescue
+    scan.  Preemption stays off — repairing one failure by creating
+    another is not progress.
+
+    Shared by both engines (``engine`` exposes ``config`` and
+    ``feas_cache``): the repair decisions depend only on the cluster
+    state, so running the identical pass from
+    :class:`~repro.core.search.FlowPathSearch` keeps the engines'
+    placements indistinguishable — the cross-engine property test found
+    a workload where an Aladdin-only repair pass made the two diverge.
+    """
+    config = engine.config
+    by_id = {c.container_id: c for c in containers}
+    pending = sorted(
+        result.undeployed,
+        key=lambda cid: -by_id[cid].priority if cid in by_id else 0,
+    )
+    # Under gang semantics the repair must keep applications atomic:
+    # retry whole app groups and retract partial successes.
+    groups: list[list[int]] = []
+    seen_apps: dict[int, int] = {}
+    for cid in pending:
+        container = by_id.get(cid)
+        if container is None:
+            continue
+        if config.gang_scheduling:
+            slot = seen_apps.get(container.app_id)
+            if slot is None:
+                seen_apps[container.app_id] = len(groups)
+                groups.append([cid])
+            else:
+                groups[slot].append(cid)
+        else:
+            groups.append([cid])
+
+    for group in groups:
+        placed_now: list[int] = []
+        failed = False
+        for cid in group:
+            container = by_id[cid]
             demand = container.demand_vector(state.topology.resources)
-            mask = self._feasible_mask(state, demand, container.app_id, result)
+            if config.enable_il and config.enable_feasibility_cache:
+                mask = engine.feas_cache.feasible_mask(
+                    state, demand, container.app_id
+                )
+                result.explored += engine.feas_cache.last_recomputed
+            else:
+                result.explored += state.n_machines
+                mask = state.feasible_mask(demand, container.app_id)
             machine = _pick_machine(state, mask, dl=True)
             if machine is None:
-                outcome = planner.rescue(container, demand, allow_preemption=False)
+                outcome = planner.rescue(
+                    container, demand, allow_preemption=False, exhaustive=True
+                )
                 result.explored += outcome.explored
                 if outcome.ok:
                     result.migrations += outcome.migrations
                     machine = outcome.machine_id
             if machine is None:
-                # The victim was deployed once; retract that placement.
-                result.placements.pop(container.container_id, None)
-                result.undeployed[container.container_id] = FailureReason.PREEMPTED
-                continue
+                failed = True
+                break
             state.deploy(container, machine, demand)
-            # A victim that lands again was migrated, in effect.
-            prev = result.placements.get(container.container_id)
-            result.placements[container.container_id] = machine
-            if prev is not None and prev != machine:
-                result.migrations += 1
-
-
-    # ------------------------------------------------------------------
-    def _final_repair(
-        self,
-        containers: list[Container],
-        state: ClusterState,
-        planner: RescuePlanner,
-        result: ScheduleResult,
-    ) -> None:
-        """Exhaustively retry every undeployed container (Fig. 7 spirit).
-
-        Highest priority first; each retry gets an unbounded rescue
-        scan.  Preemption stays off — repairing one failure by creating
-        another is not progress.
-        """
-        by_id = {c.container_id: c for c in containers}
-        pending = sorted(
-            result.undeployed,
-            key=lambda cid: -by_id[cid].priority if cid in by_id else 0,
-        )
-        # Under gang semantics the repair must keep applications atomic:
-        # retry whole app groups and retract partial successes.
-        groups: list[list[int]] = []
-        seen_apps: dict[int, int] = {}
-        for cid in pending:
-            container = by_id.get(cid)
-            if container is None:
-                continue
-            if self.config.gang_scheduling:
-                slot = seen_apps.get(container.app_id)
-                if slot is None:
-                    seen_apps[container.app_id] = len(groups)
-                    groups.append([cid])
-                else:
-                    groups[slot].append(cid)
-            else:
-                groups.append([cid])
-
-        for group in groups:
-            placed_now: list[int] = []
-            failed = False
-            for cid in group:
-                container = by_id[cid]
-                demand = container.demand_vector(state.topology.resources)
-                mask = self._feasible_mask(
-                    state, demand, container.app_id, result
-                )
-                machine = _pick_machine(state, mask, dl=True)
-                if machine is None:
-                    outcome = planner.rescue(
-                        container, demand, allow_preemption=False, exhaustive=True
-                    )
-                    result.explored += outcome.explored
-                    if outcome.ok:
-                        result.migrations += outcome.migrations
-                        machine = outcome.machine_id
-                if machine is None:
-                    failed = True
-                    break
-                state.deploy(container, machine, demand)
-                result.placements[cid] = machine
-                del result.undeployed[cid]
-                placed_now.append(cid)
-            if failed and self.config.gang_scheduling:
-                # The container that stopped the gang kept its reason.
-                failing_cid = group[len(placed_now)]
-                reason = result.undeployed[failing_cid]
-                for cid in placed_now:
-                    state.evict(cid)
-                    del result.placements[cid]
-                    result.undeployed[cid] = reason
+            result.placements[cid] = machine
+            del result.undeployed[cid]
+            placed_now.append(cid)
+        if failed and config.gang_scheduling:
+            # The container that stopped the gang kept its reason.
+            failing_cid = group[len(placed_now)]
+            reason = result.undeployed[failing_cid]
+            for cid in placed_now:
+                state.evict(cid)
+                del result.placements[cid]
+                result.undeployed[cid] = reason
 
 
 # ----------------------------------------------------------------------

@@ -35,7 +35,13 @@ from repro.core.machindex import MachineIndex
 from repro.core.migration import RescuePlanner
 from repro.core.network_builder import LayeredNetwork, build_layered_network
 from repro.core.parallel import ParallelSweep
-from repro.core.scheduler import _derive_weights_for, _group_blocks
+from repro.core.rescuekernel import RescueKernel
+from repro.core.scheduler import (
+    _derive_weights_for,
+    _group_blocks,
+    drain_requeue,
+    final_repair,
+)
 from repro.flownet.capacity import VectorCapacity
 from repro.flownet.validation import validate_flow
 
@@ -55,6 +61,11 @@ class FlowPathSearch(Scheduler):
         #: per-container full argsort whenever the cache yields an
         #: admit mask to restrict it to
         self.machine_index = MachineIndex()
+        #: vectorized rescue planning, shared semantics with the
+        #: vectorised engine (``None`` = legacy per-machine loop)
+        self.rescue_kernel = (
+            RescueKernel() if self.config.enable_rescue_kernel else None
+        )
         #: rack-sharded parallel sweep for the cached+DL path; gated
         #: exactly like the vectorised engine's (workers=1 → serial)
         cfg = self.config
@@ -92,7 +103,13 @@ class FlowPathSearch(Scheduler):
     ) -> None:
         self.last_weights = _derive_weights_for(containers, self.config)
         guard_weights = _derive_weights_for(containers, self.config, base=1.0)
-        planner = RescuePlanner(state, self.config, guard_weights)
+        planner = RescuePlanner(
+            state,
+            self.config,
+            guard_weights,
+            machine_index=self.machine_index,
+            kernel=self.rescue_kernel,
+        )
         blocks = _group_blocks(containers)
         window = self.config.window_apps
         for start in range(0, len(blocks), window):
@@ -102,6 +119,20 @@ class FlowPathSearch(Scheduler):
             )
             with result.telemetry.phase("search"):
                 self._schedule_window(window_blocks, state, planner, result)
+        if self.config.final_repair and result.undeployed:
+            # The same exhaustive repair pass the vectorised engine
+            # runs; skipping it here made the engines diverge on
+            # workloads where only an unbounded rescue scan succeeds.
+            version_before = state.version
+            with result.telemetry.phase("repair"):
+                final_repair(self, containers, state, planner, result)
+            if self.last_network is not None:
+                touched = state.dirty_array_since(version_before)
+                if touched is None:
+                    # Log compacted: conservatively re-truthify every
+                    # sink residual (the patch is idempotent).
+                    touched = np.arange(state.n_machines)
+                _patch_residuals(self.last_network, state, touched)
         # Rescue migrations move already-placed containers; re-read their
         # final machine from the authoritative state.
         for cid in result.placements:
@@ -181,21 +212,18 @@ class FlowPathSearch(Scheduler):
                 state.deploy(container, machine, demand)
                 result.placements[container.container_id] = machine
 
-        for container in requeue:
-            demand = container.demand_vector(state.topology.resources)
-            mask = state.feasible_mask(demand, container.app_id)
-            ids = np.flatnonzero(mask)
-            result.explored += state.n_machines
-            if ids.size == 0:
-                result.placements.pop(container.container_id, None)
-                result.undeployed[container.container_id] = FailureReason.PREEMPTED
-                continue
-            machine = int(ids[np.argmin(state.available[ids, 0])])
-            state.deploy(container, machine, demand)
-            prev = result.placements.get(container.container_id)
-            result.placements[container.container_id] = machine
-            if prev is not None and prev != machine:
-                result.migrations += 1
+        if requeue:
+            # Same victim re-placement pass as the vectorised engine —
+            # including its migration fallback — so tight clusters where
+            # a victim no longer fits anywhere directly cannot make the
+            # engines drift.  Rescues mutate machines behind the
+            # network's back; re-truthify the touched sink residuals.
+            version_before = state.version
+            drain_requeue(self, requeue, state, planner, result)
+            touched = state.dirty_array_since(version_before)
+            if touched is None:
+                touched = np.arange(state.n_machines)
+            _patch_residuals(network, state, touched)
 
     # ------------------------------------------------------------------
     def _find_path(

@@ -87,6 +87,10 @@ class TickSample:
     cache_hits: int = 0
     #: application blocks placed by the batched kernel this tick
     batch_invocations: int = 0
+    #: rescue attempts (migration/consolidation/preemption planning)
+    rescue_attempts: int = 0
+    #: of those, attempts planned by the vectorized rescue kernel
+    rescue_kernel_invocations: int = 0
 
 
 @dataclass
@@ -152,6 +156,8 @@ class OnlineResult:
                     "explored": s.explored,
                     "cache_hits": s.cache_hits,
                     "batch_invocations": s.batch_invocations,
+                    "rescue_attempts": s.rescue_attempts,
+                    "rescue_kernel_invocations": s.rescue_kernel_invocations,
                 }
                 for s in self.samples
             ],
@@ -224,6 +230,8 @@ class OnlineSimulator:
             explored = 0
             cache_hits = 0
             batch_invocations = 0
+            rescue_attempts = 0
+            rescue_kernel_invocations = 0
             if batch:  # 2. arrivals
                 schedule = scheduler.schedule(batch, state)
                 migrations = schedule.migrations
@@ -236,6 +244,10 @@ class OnlineSimulator:
                 if schedule.telemetry is not None:
                     cache_hits = schedule.telemetry.cache_hits
                     batch_invocations = schedule.telemetry.batch_kernel_invocations
+                    rescue_attempts = schedule.telemetry.rescue_attempts
+                    rescue_kernel_invocations = (
+                        schedule.telemetry.rescue_kernel_invocations
+                    )
                     result.telemetry.merge(schedule.telemetry)
                 for c in batch:
                     if c.container_id in schedule.placements:
@@ -258,6 +270,8 @@ class OnlineSimulator:
                     explored=explored,
                     cache_hits=cache_hits,
                     batch_invocations=batch_invocations,
+                    rescue_attempts=rescue_attempts,
+                    rescue_kernel_invocations=rescue_kernel_invocations,
                 )
             )
             if idx >= len(apps) and not departures:

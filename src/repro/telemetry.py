@@ -27,6 +27,15 @@ place all of those savings are *counted*:
 * ``parallel_sweeps`` — application blocks planned by the rack-sharded
   parallel sweep (:mod:`repro.core.parallel`) instead of the serial
   cache+index pipeline;
+* ``rescue_attempts`` / ``rescue_migrations`` / ``rescue_preemptions``
+  / ``rescue_machines_scanned`` — the Section III.B rescue machinery's
+  deterministic accounting: rescue calls, containers moved, containers
+  evicted, and candidate machines examined by the strategy loops.
+  Identical across the rescue-kernel axis (the decisions are);
+* ``rescue_kernel_invocations`` — rescues planned by the vectorized
+  kernel (:mod:`repro.core.rescuekernel`) instead of the legacy
+  per-machine loop (the one rescue counter that distinguishes the
+  kernel axis);
 * ``phase_time_s`` — wall time per scheduler phase (search, rescue,
   requeue, repair);
 * ``worker_time_s`` — per-shard-worker wall seconds inside the parallel
@@ -66,6 +75,11 @@ class SchedulerTelemetry:
     index_resyncs: int = 0
     machines_skipped: int = 0
     parallel_sweeps: int = 0
+    rescue_attempts: int = 0
+    rescue_migrations: int = 0
+    rescue_preemptions: int = 0
+    rescue_machines_scanned: int = 0
+    rescue_kernel_invocations: int = 0
     #: phase name -> accumulated wall seconds (non-deterministic; kept
     #: out of :meth:`counters` on purpose)
     phase_time_s: dict[str, float] = field(default_factory=dict)
@@ -98,6 +112,11 @@ class SchedulerTelemetry:
             "index_resyncs": self.index_resyncs,
             "machines_skipped": self.machines_skipped,
             "parallel_sweeps": self.parallel_sweeps,
+            "rescue_attempts": self.rescue_attempts,
+            "rescue_migrations": self.rescue_migrations,
+            "rescue_preemptions": self.rescue_preemptions,
+            "rescue_machines_scanned": self.rescue_machines_scanned,
+            "rescue_kernel_invocations": self.rescue_kernel_invocations,
         }
 
     def add_phase_time(self, phase: str, seconds: float) -> None:
@@ -130,6 +149,11 @@ class SchedulerTelemetry:
         self.index_resyncs += other.index_resyncs
         self.machines_skipped += other.machines_skipped
         self.parallel_sweeps += other.parallel_sweeps
+        self.rescue_attempts += other.rescue_attempts
+        self.rescue_migrations += other.rescue_migrations
+        self.rescue_preemptions += other.rescue_preemptions
+        self.rescue_machines_scanned += other.rescue_machines_scanned
+        self.rescue_kernel_invocations += other.rescue_kernel_invocations
         for phase, dt in other.phase_time_s.items():
             self.add_phase_time(phase, dt)
         for worker, dt in other.worker_time_s.items():
@@ -155,6 +179,17 @@ class SchedulerTelemetry:
             parts.append(f"machines skipped {self.machines_skipped}")
         if self.parallel_sweeps:
             parts.append(f"parallel sweeps {self.parallel_sweeps}")
+        if self.rescue_attempts:
+            parts.append(
+                f"rescues {self.rescue_attempts}"
+                f" ({self.rescue_migrations} migr,"
+                f" {self.rescue_preemptions} evict,"
+                f" {self.rescue_machines_scanned} scanned)"
+            )
+        if self.rescue_kernel_invocations:
+            parts.append(
+                f"rescue kernel {self.rescue_kernel_invocations}"
+            )
         if self.worker_time_s:
             spread = ", ".join(
                 f"{name} {dt * 1000:.1f}ms"

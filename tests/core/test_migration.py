@@ -11,6 +11,7 @@ from repro.cluster.state import ClusterState
 from repro.cluster.topology import build_cluster
 from repro.core.config import AladdinConfig
 from repro.core.migration import RescuePlanner
+from repro.core.rescuekernel import RescueKernel
 
 
 def container(cid, app, cpu, prio=0):
@@ -100,6 +101,28 @@ class TestFig7Consolidation:
         cfg = AladdinConfig(max_migrations_per_container=4, enable_preemption=False)
         outcome = RescuePlanner(state, cfg).rescue(big, demand(big, state))
         assert outcome.ok
+
+
+    def test_consolidation_at_zero_migration_candidates(self):
+        """``migration_candidates=0`` still examines one machine.
+
+        Blocker migration, consolidation and preemption all truncate
+        their candidate walks with ``max(1, migration_candidates)``;
+        consolidation used to slice with the raw value, silently
+        disabling Fig. 7 at 0 while the other strategies kept their
+        one-machine floor.  The Fig. 7 scenario must rescue regardless.
+        """
+        for kernel_on in (False, True):
+            state = make_state([], n_machines=2, cpu=8.0)
+            state.deploy(container(0, app=0, cpu=3), 0)
+            state.deploy(container(1, app=1, cpu=3), 1)
+            big = container(2, app=2, cpu=6)
+            cfg = AladdinConfig(migration_candidates=0)
+            kernel = RescueKernel() if kernel_on else None
+            planner = RescuePlanner(state, cfg, kernel=kernel)
+            outcome = planner.rescue(big, demand(big, state))
+            assert outcome.ok, f"kernel_on={kernel_on}"
+            assert outcome.migrations == 1
 
 
 class TestPriorityPreemption:

@@ -1,0 +1,282 @@
+"""Vectorized rescue kernel vs the legacy per-machine loop.
+
+Every test builds one scenario twice and runs the rescue once through
+the legacy :class:`~repro.core.migration.RescuePlanner` loop and once
+through the :class:`~repro.core.rescuekernel.RescueKernel`, then
+asserts the *decisions* are bit-identical: same success verdict, same
+freed machine, same victims in the same order, same failure
+classification, same post-rescue cluster state.  Costs (``explored``)
+legitimately differ — the kernel answers admit masks from its
+dominance cache — but the per-strategy machine-visit count
+(``scanned``) must match, since both paths walk the same candidate
+orders.
+
+The churn-level form of the same contract lives in
+``tests/test_differential.py`` (the rescue axis); these are the
+small-oracle versions where the expected decision is hand-checkable.
+"""
+
+import numpy as np
+
+from repro.base import FailureReason
+from repro.cluster.constraints import AntiAffinityRule, ConstraintSet
+from repro.cluster.container import Container
+from repro.cluster.machine import MachineSpec
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import build_cluster
+from repro.core.config import AladdinConfig
+from repro.core.migration import RescuePlanner
+from repro.core.rescuekernel import RescueKernel
+
+
+def container(cid, app, cpu, prio=0):
+    return Container(
+        container_id=cid, app_id=app, instance=0, cpu=cpu, mem_gb=cpu * 2,
+        priority=prio,
+    )
+
+
+def make_state(rules, n_machines=2, cpu=32.0, machines_per_rack=None):
+    kwargs = {"machine": MachineSpec(cpu=cpu, mem_gb=cpu * 2)}
+    if machines_per_rack is not None:
+        kwargs["machines_per_rack"] = machines_per_rack
+    topo = build_cluster(n_machines, **kwargs)
+    constraints = rules if isinstance(rules, ConstraintSet) else ConstraintSet(rules)
+    return ClusterState(topo, constraints)
+
+
+def run_pair(build_state, blocked, config=None, weights=None, **rescue_kw):
+    """Run one scenario through the loop and the kernel; assert parity.
+
+    Returns ``(legacy_outcome, kernel_outcome, kernel)`` so tests can
+    add scenario-specific assertions on top of the parity checks.
+    """
+    config = config or AladdinConfig()
+    outcomes = []
+    states = []
+    kernel = RescueKernel()
+    for use_kernel in (False, True):
+        state = build_state()
+        planner = RescuePlanner(
+            state, config, weights=weights,
+            kernel=kernel if use_kernel else None,
+        )
+        demand = blocked.demand_vector(state.topology.resources)
+        outcomes.append(planner.rescue(blocked, demand, **rescue_kw))
+        states.append(state)
+    legacy, kern = outcomes
+    assert kern.ok == legacy.ok
+    assert kern.machine_id == legacy.machine_id
+    assert kern.migrations == legacy.migrations
+    assert [c.container_id for c in kern.preempted] == [
+        c.container_id for c in legacy.preempted
+    ], "victim sets or their order diverged"
+    assert kern.failure == legacy.failure
+    assert kern.scanned == legacy.scanned, "strategy-loop visit counts diverged"
+    assert states[0].assignment == states[1].assignment
+    assert np.array_equal(states[0].available, states[1].available)
+    assert kernel.invocations == 1
+    return legacy, kern, kernel
+
+
+class TestBlockerMigration:
+    def test_fig3b_blocker_migrates(self):
+        """Fig. 3(b): the anti-affinity blocker moves to make room."""
+        def build():
+            state = make_state([AntiAffinityRule(0, 1)], n_machines=2)
+            state.deploy(container(0, app=0, cpu=4, prio=1), 0)
+            state.deploy(container(9, app=5, cpu=28), 1)
+            return state
+
+        b = container(1, app=1, cpu=20, prio=0)
+        legacy, kern, _ = run_pair(build, b)
+        assert kern.ok and kern.machine_id == 0
+        assert kern.migrations == 1
+
+    def test_blocker_constraints_respected(self):
+        """Migration fails identically when the blocker's own rules
+        forbid every relocation target."""
+        def build():
+            state = make_state(
+                [AntiAffinityRule(0, 1), AntiAffinityRule(0, 2)], n_machines=2
+            )
+            state.deploy(container(0, app=0, cpu=4), 0)
+            state.deploy(container(1, app=2, cpu=4), 1)
+            state.deploy(container(3, app=5, cpu=10), 1)
+            return state
+
+        b = container(2, app=1, cpu=20)
+        legacy, kern, _ = run_pair(build, b)
+        assert not kern.ok
+        assert kern.failure is FailureReason.ANTI_AFFINITY
+
+
+class TestConsolidation:
+    def test_fig7_fragmented_small_tasks_consolidate(self):
+        def build():
+            state = make_state([], n_machines=2, cpu=8.0)
+            state.deploy(container(0, app=0, cpu=3), 0)
+            state.deploy(container(1, app=1, cpu=3), 1)
+            return state
+
+        big = container(2, app=2, cpu=6)
+        legacy, kern, _ = run_pair(build, big)
+        assert kern.ok
+        assert kern.migrations == 1
+
+    def test_mover_limit_respected(self):
+        """Needing more movers than ``max_migrations_per_container``
+        fails in both paths; raising the limit succeeds in both."""
+        def build():
+            state = make_state([], n_machines=2, cpu=8.0)
+            for i in range(4):
+                state.deploy(container(i, app=i, cpu=1), 0)
+            state.deploy(container(9, app=9, cpu=5), 1)
+            return state
+
+        big = container(10, app=10, cpu=7)
+        tight = AladdinConfig(
+            max_migrations_per_container=1, enable_preemption=False
+        )
+        legacy, kern, _ = run_pair(build, big, config=tight)
+        assert not kern.ok
+        roomy = AladdinConfig(
+            max_migrations_per_container=4, enable_preemption=False
+        )
+        legacy, kern, _ = run_pair(build, big, config=roomy)
+        assert kern.ok
+
+
+class TestPreemption:
+    def test_victim_order_matches(self):
+        """Several lower-priority residents must go: the kernel evicts
+        the same victims in the same (priority, cpu) order."""
+        def build():
+            state = make_state([AntiAffinityRule(0, 9)], n_machines=1, cpu=16.0)
+            state.deploy(container(0, app=9, cpu=2, prio=0), 0)
+            state.deploy(container(1, app=8, cpu=6, prio=1), 0)
+            state.deploy(container(2, app=7, cpu=6, prio=0), 0)
+            return state
+
+        high = container(3, app=0, cpu=12, prio=2)
+        legacy, kern, _ = run_pair(build, high)
+        assert kern.ok
+        assert len(kern.preempted) >= 2
+
+    def test_low_never_displaces_high(self):
+        def build():
+            state = make_state([AntiAffinityRule(0, 1)], n_machines=1)
+            state.deploy(container(0, app=1, cpu=4, prio=2), 0)
+            return state
+
+        low = container(1, app=0, cpu=4, prio=0)
+        legacy, kern, _ = run_pair(build, low)
+        assert not kern.ok
+
+    def test_relocation_preferred_over_eviction(self):
+        def build():
+            state = make_state([AntiAffinityRule(0, 1)], n_machines=2)
+            state.deploy(container(0, app=1, cpu=4, prio=0), 0)
+            state.deploy(container(9, app=5, cpu=8), 1)
+            state.deploy(container(8, app=6, cpu=24), 0)
+            state.deploy(container(7, app=7, cpu=20), 1)
+            return state
+
+        high = container(1, app=0, cpu=4, prio=2)
+        legacy, kern, _ = run_pair(build, high)
+        assert kern.ok and kern.machine_id == 0
+        assert kern.preempted == []
+        assert kern.migrations == 1
+
+    def test_equation9_guard(self):
+        """The weighted-flow guard (Equation 9) vetoes a preemption
+        whose victims carry at least the preemptor's weighted flow —
+        in both paths, with the identical weight arithmetic."""
+        def build():
+            state = make_state([AntiAffinityRule(0, 1)], n_machines=1, cpu=8.0)
+            state.deploy(container(0, app=1, cpu=4, prio=0), 0)
+            state.deploy(container(9, app=5, cpu=4, prio=3), 0)
+            return state
+
+        high = container(1, app=0, cpu=4, prio=2)
+        # Victim flow 1.0 * 4 >= preemptor flow 1.0 * 4: guard trips.
+        legacy, kern, _ = run_pair(
+            build, high, weights={0: 1.0, 2: 1.0, 3: 4.0}
+        )
+        assert not kern.ok
+        # Preemptor weight high enough: the same preemption is allowed.
+        legacy, kern, _ = run_pair(
+            build, high, weights={0: 1.0, 2: 2.0, 3: 8.0}
+        )
+        assert kern.ok
+        assert [c.container_id for c in kern.preempted] == [0]
+
+
+class TestRackScopedRules:
+    def test_blocker_relocates_to_free_rack(self):
+        """A rack-scoped within-rule blocker may only move to a rack
+        not already hosting its application; with rack 1 free of app 7
+        the migration lands there and both paths pick machine 0."""
+        def build():
+            cs = ConstraintSet([AntiAffinityRule(1, 7)])
+            cs.add_rule(AntiAffinityRule(7, 7), scope="rack")
+            state = make_state(
+                cs, n_machines=4, cpu=8.0, machines_per_rack=2
+            )
+            state.deploy(container(0, app=7, cpu=2), 0)   # rack 0
+            state.deploy(container(10, app=6, cpu=7), 1)  # rack 0
+            state.deploy(container(11, app=6, cpu=7), 2)  # rack 1
+            state.deploy(container(12, app=5, cpu=3), 3)  # rack 1
+            return state
+
+        b = container(1, app=1, cpu=6)
+        legacy, kern, _ = run_pair(build, b)
+        assert kern.ok and kern.machine_id == 0
+        assert kern.migrations == 1
+
+    def test_occupied_rack_blocks_relocation(self):
+        """With every roomy machine in a rack that already hosts the
+        blocker's application, the within-rack rule kills the move —
+        and no other strategy can rescue."""
+        def build():
+            cs = ConstraintSet(
+                [AntiAffinityRule(1, 7), AntiAffinityRule(5, 7)]
+            )
+            cs.add_rule(AntiAffinityRule(7, 7), scope="rack")
+            state = make_state(
+                cs, n_machines=4, cpu=8.0, machines_per_rack=2
+            )
+            state.deploy(container(0, app=7, cpu=2), 0)   # rack 0
+            state.deploy(container(10, app=6, cpu=7), 1)  # rack 0
+            state.deploy(container(2, app=7, cpu=1), 2)   # rack 1: app 7 too
+            state.deploy(container(11, app=6, cpu=6), 2)
+            state.deploy(container(12, app=5, cpu=3), 3)  # rack 1
+            return state
+
+        b = container(1, app=1, cpu=6)
+        legacy, kern, _ = run_pair(build, b)
+        assert not kern.ok
+        assert kern.failure is FailureReason.ANTI_AFFINITY
+
+
+class TestKernelBookkeeping:
+    def test_ledger_rows_reused_across_attempts(self):
+        """A second rescue on untouched machines answers resident
+        summaries from the ledger instead of rebuilding them."""
+        state = make_state([AntiAffinityRule(0, 1), AntiAffinityRule(2, 1)],
+                           n_machines=3, cpu=8.0)
+        state.deploy(container(0, app=0, cpu=2), 0)
+        state.deploy(container(1, app=2, cpu=2), 1)
+        state.deploy(container(9, app=5, cpu=7), 2)
+        kernel = RescueKernel()
+        planner = RescuePlanner(state, AladdinConfig(), kernel=kernel)
+        b = container(2, app=1, cpu=7)
+        first = planner.rescue(b, b.demand_vector(state.topology.resources))
+        builds_after_first = kernel.ledger.builds
+        if first.ok:
+            state.deploy(b, first.machine_id)
+        b2 = container(3, app=1, cpu=7)
+        planner.rescue(b2, b2.demand_vector(state.topology.resources))
+        assert kernel.invocations == 2
+        # Machines untouched by the first rescue keep their rows.
+        assert kernel.ledger.builds < 2 * builds_after_first

@@ -44,3 +44,23 @@ def test_force_overrides_the_guard():
 def test_full_run_may_target_committed_path():
     out = resolve_out("BENCH_fig12.json", smoke=False, force=False)
     assert out == "BENCH_fig12.json"
+
+
+def test_rescue_mode_defaults():
+    assert (
+        resolve_out(None, smoke=False, force=False, mode="rescue")
+        == "BENCH_rescue.json"
+    )
+    assert (
+        resolve_out(None, smoke=True, force=False, mode="rescue")
+        == "BENCH_rescue_smoke.json"
+    )
+
+
+def test_smoke_refuses_either_committed_artefact():
+    # The guard is mode-independent: a rescue smoke run must not
+    # clobber the fig12 artefact and vice versa.
+    for name in ("BENCH_rescue.json", "BENCH_fig12.json"):
+        for mode in ("fig12", "rescue"):
+            with pytest.raises(SystemExit, match="refusing to overwrite"):
+                resolve_out(name, smoke=True, force=False, mode=mode)

@@ -37,6 +37,29 @@ from repro.cluster.state import ClusterState
 from repro.cluster.topology import build_cluster
 from repro.core import AladdinConfig, AladdinScheduler, FlowPathSearch
 from repro.sim.faults import fail_machines, repair_machines
+from repro.telemetry import SchedulerTelemetry
+
+
+def track_telemetry(engine):
+    """Accumulate every round's counters on ``engine.total_telemetry``.
+
+    ``churn_replay`` discards per-round results, but the rescue axis
+    asserts *decision counters* (attempts, migrations, preemptions,
+    machines scanned) stay bit-identical across variants — so wrap the
+    engine's ``schedule`` to merge each round's telemetry first.
+    """
+    total = SchedulerTelemetry()
+    original = engine.schedule
+
+    def schedule(batch, state):
+        result = original(batch, state)
+        if result.telemetry is not None:
+            total.merge(result.telemetry)
+        return result
+
+    engine.schedule = schedule
+    engine.total_telemetry = total
+    return engine
 
 
 def random_apps(rng, n_apps):
@@ -335,6 +358,129 @@ def test_flowpath_parallel_matches_serial(seed):
     assert parallel.parallel is not None
     assert parallel.parallel.sweeps > 0
     assert serial.parallel is None
+
+
+def aladdin_rescue_pair():
+    return [
+        track_telemetry(AladdinScheduler()),  # rescue kernel on by default
+        track_telemetry(
+            AladdinScheduler(AladdinConfig(enable_rescue_kernel=False))
+        ),
+    ]
+
+
+def flowpath_rescue_pair():
+    return [
+        track_telemetry(FlowPathSearch()),
+        track_telemetry(
+            FlowPathSearch(AladdinConfig(enable_rescue_kernel=False))
+        ),
+    ]
+
+
+def aladdin_rescue_grid():
+    """The rescue×batched×cached product of the vectorised engine."""
+    return [
+        AladdinScheduler(AladdinConfig(
+            enable_rescue_kernel=rescue,
+            enable_batch_kernel=batch,
+            enable_feasibility_cache=cache,
+        ))
+        for rescue in (True, False)
+        for batch in (True, False)
+        for cache in (True, False)
+    ]
+
+
+RESCUE_DECISION_COUNTERS = (
+    "rescue_attempts",
+    "rescue_migrations",
+    "rescue_preemptions",
+    "rescue_machines_scanned",
+)
+
+
+def assert_rescue_decisions_agree(kernel, legacy):
+    """The kernel may change *costs* (explored, cache hits) but never
+    *decisions*: the rescue-decision counters must match the legacy
+    loop exactly, and every kernel-side attempt must have gone through
+    the kernel (none silently fell back to the loop)."""
+    for name in RESCUE_DECISION_COUNTERS:
+        assert getattr(kernel.total_telemetry, name) == getattr(
+            legacy.total_telemetry, name
+        ), f"{name} diverged across the rescue axis"
+    assert (
+        kernel.total_telemetry.rescue_kernel_invocations
+        == kernel.total_telemetry.rescue_attempts
+    )
+    assert legacy.total_telemetry.rescue_kernel_invocations == 0
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_aladdin_rescue_kernel_matches_loop(seed):
+    """≥ 20 randomized churn replays on a deliberately tight cluster
+    (rescues actually fire there): the vectorized rescue kernel and the
+    legacy per-machine loop agree on every placement at every tick, and
+    the rescue decision counters are bit-identical."""
+    kernel, legacy = churn_replay(
+        seed, aladdin_rescue_pair, n_machines=10
+    )
+    assert_rescue_decisions_agree(kernel, legacy)
+    assert legacy.rescue_kernel is None, "legacy engine must not build a kernel"
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_flowpath_rescue_kernel_matches_loop(seed):
+    """The reference flow-network engine honours the same contract —
+    its rescues route through the identical planner."""
+    kernel, legacy = churn_replay(
+        seed, flowpath_rescue_pair, n_machines=10
+    )
+    assert_rescue_decisions_agree(kernel, legacy)
+
+
+@pytest.mark.parametrize("seed", [2, 5, 13])
+def test_rescue_grid_agrees_under_churn(seed):
+    """The rescue×batched×cached product — eight Aladdin variants —
+    replays one tight-cluster churn stream with identical placements
+    throughout, so the kernel composes with every other optimisation
+    axis rather than merely with the default configuration."""
+    engines = churn_replay(seed, aladdin_rescue_grid, n_machines=10)
+    for e in engines:
+        assert (e.rescue_kernel is not None) == e.config.enable_rescue_kernel
+
+
+@pytest.mark.parametrize("seed", [2, 7])
+def test_cross_engine_rescue_agrees_on_tight_cluster(seed):
+    """Both engines, kernel on and off, on the tight cluster where the
+    flow engine's requeue pass used to drop victims the vectorised
+    engine migrated — the four-way replay pins the shared
+    ``drain_requeue``/``final_repair`` semantics."""
+    churn_replay(
+        seed,
+        lambda: [
+            AladdinScheduler(),
+            AladdinScheduler(AladdinConfig(enable_rescue_kernel=False)),
+            FlowPathSearch(),
+            FlowPathSearch(AladdinConfig(enable_rescue_kernel=False)),
+        ],
+        n_machines=10,
+    )
+
+
+def test_rescue_kernel_demonstrably_in_play():
+    """The tight-cluster replays must actually exercise the kernel —
+    aggregate invocations across the seed range are positive, so the
+    rescue-axis equivalence above is not vacuous."""
+    total = 0
+    for seed in range(8):
+        kernel, _ = churn_replay(seed, aladdin_rescue_pair, n_machines=10)
+        total += kernel.rescue_kernel.invocations
+        assert (
+            kernel.rescue_kernel.invocations
+            == kernel.total_telemetry.rescue_kernel_invocations
+        )
+    assert total > 0, "no replay ever invoked the rescue kernel"
 
 
 def test_replay_exercises_mixed_churn():
