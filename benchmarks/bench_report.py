@@ -337,6 +337,108 @@ def run_rescue_report(
     return report
 
 
+# ----------------------------------------------------------------------
+# --mode restore: warm cache resync vs cold rebuild after a restart
+# ----------------------------------------------------------------------
+def run_restore_report(
+    scale: float, seed: int, pool_factor: float, repeats: int
+) -> dict:
+    """First-round-after-restart latency: cold rebuild vs warm resync.
+
+    Warms an engine over the whole calibrated trace (many rounds, many
+    demand signatures), checkpoints engine + state, dirties a small
+    churn window, then measures the *first scheduling round* of
+
+    * ``cold-rebuild`` — a fresh engine on the restored state, which
+      recomputes every feasibility mask and rebuilds the packed-first
+      index from scratch, and
+    * ``warm-resync`` — ``AladdinScheduler.from_checkpoint``, which
+      restarts the caches from the persisted dirty-log watermark and
+      recomputes only the churned machines.
+
+    Both rounds must place identically (the caches are semantically
+    transparent); the report commits the warm/cold latency ratio.
+    """
+    trace = generate_trace(scale=scale, seed=seed)
+    n_machines = max(1, round(trace.config.n_machines * pool_factor))
+    topo = build_cluster(n_machines)
+    state = ClusterState(topo, trace.constraints)
+    engine = AladdinScheduler()
+
+    by_app: dict[int, list] = {}
+    for c in trace.containers:
+        by_app.setdefault(c.app_id, []).append(c)
+    apps = sorted(by_app)
+    n_probe = max(4, len(apps) // 50)
+    fill, probe_apps = apps[:-n_probe], apps[-n_probe:]
+    probe = [c for a in probe_apps for c in by_app[a]]
+
+    # Warm phase: many rounds over the full demand-signature mix.
+    for i in range(0, len(fill), 40):
+        batch = [c for a in fill[i : i + 40] for c in by_app[a]]
+        engine.schedule(batch, state)
+    # A small churn window after the last sync point, so the warm
+    # restore has a realistic non-empty dirty set to replay.
+    for cid in list(state.assignment)[:: max(1, len(state.assignment) // 64)]:
+        state.evict(cid)
+
+    engine_image = engine.checkpoint()
+    state_image = state.checkpoint_payload()
+    engine.close()
+
+    def first_round(warm: bool) -> tuple[float, dict]:
+        rstate = ClusterState.from_payload(state_image, topo, trace.constraints)
+        if warm:
+            e = AladdinScheduler.from_checkpoint(engine_image, rstate)
+        else:
+            e = AladdinScheduler()
+        t0 = time.perf_counter()
+        result = e.schedule(list(probe), rstate)
+        dt = time.perf_counter() - t0
+        e.close()
+        return dt, dict(result.placements)
+
+    report: dict = {
+        "figure": "Restore path (warm cache resync vs cold rebuild)",
+        "setup": {
+            "scale": scale,
+            "seed": seed,
+            "machine_pool_factor": pool_factor,
+            "n_machines": n_machines,
+            "n_containers": trace.n_containers,
+            "probe_containers": len(probe),
+            "repeats": repeats,
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "variants": {},
+    }
+    placements: dict[str, dict] = {}
+    for name, warm in (("cold-rebuild", False), ("warm-resync", True)):
+        best = min(
+            (first_round(warm) for _ in range(repeats)),
+            key=lambda r: r[0],
+        )
+        placements[name] = best[1]
+        report["variants"][name] = {
+            "first_round_ms": round(best[0] * 1000, 3),
+            "placed": len(best[1]),
+        }
+        print(f"{name:>13}: first round {best[0] * 1000:8.2f} ms, "
+              f"{len(best[1])} placed")
+    report["decisions_identical"] = (
+        placements["cold-rebuild"] == placements["warm-resync"]
+    )
+    cold = report["variants"]["cold-rebuild"]["first_round_ms"]
+    warm = report["variants"]["warm-resync"]["first_round_ms"]
+    report["warm_over_cold"] = round(warm / cold, 3) if cold else None
+    print(f"decisions identical: {report['decisions_identical']}; "
+          f"warm/cold first-round ratio: {report['warm_over_cold']}")
+    if not report["decisions_identical"]:
+        raise SystemExit("warm-restored engine diverged from cold rebuild")
+    return report
+
+
 def resolve_out(out: str | None, smoke: bool, force: bool, mode: str = "fig12") -> str:
     """Output-path policy: smoke runs must not clobber the committed
     full measurement.
@@ -346,7 +448,11 @@ def resolve_out(out: str | None, smoke: bool, force: bool, mode: str = "fig12") 
     its ``*_smoke.json`` twin; a smoke run that explicitly names a
     committed file is refused unless forced.
     """
-    committed = {"fig12": "BENCH_fig12.json", "rescue": "BENCH_rescue.json"}
+    committed = {
+        "fig12": "BENCH_fig12.json",
+        "rescue": "BENCH_rescue.json",
+        "restore": "BENCH_restore.json",
+    }
     if out is None:
         base = committed[mode]
         return base.replace(".json", "_smoke.json") if smoke else base
@@ -362,11 +468,13 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fig. 12+ churn ablation -> BENCH_fig12.json"
     )
-    parser.add_argument("--mode", choices=("fig12", "rescue"),
+    parser.add_argument("--mode", choices=("fig12", "rescue", "restore"),
                         default="fig12",
                         help="fig12: cumulative ablation trajectory; "
                              "rescue: tight-cluster rescue-path kernel "
-                             "vs legacy loop")
+                             "vs legacy loop; restore: first-round "
+                             "latency after a restart, warm cache "
+                             "resync vs cold rebuild")
     parser.add_argument("--scale", type=float, default=0.05,
                         help="trace scale (default 0.05 -> 4000 machines "
                              "under the default pool factor)")
@@ -408,6 +516,10 @@ def main(argv: list[str] | None = None) -> int:
         report = run_rescue_report(
             args.seed, args.n_apps, args.util_target, args.churn_ticks,
             args.repeats,
+        )
+    elif args.mode == "restore":
+        report = run_restore_report(
+            args.scale, args.seed, args.pool_factor, args.repeats
         )
     else:
         report = run_report(

@@ -154,7 +154,30 @@ def cmd_online(args) -> int:
         )
     else:
         scheduler = factories[args.scheduler]()
-    result = sim.run(scheduler)
+    on_checkpoint = None
+    if args.crash_at_tick is not None:
+        import os
+        import signal
+
+        def on_checkpoint(tick, path, _k=args.crash_at_tick):
+            # Crash-injection for the resume tests: die hard (no
+            # cleanup, no atexit) once a snapshot at or past tick _k
+            # is durably on disk.
+            if tick >= _k:
+                os.kill(os.getpid(), signal.SIGKILL)
+
+    result = sim.run(
+        scheduler,
+        checkpoint_every=args.checkpoint_every or None,
+        checkpoint_path=args.checkpoint,
+        restore_from=args.restore,
+        on_checkpoint=on_checkpoint,
+    )
+    if args.canonical_out:
+        from pathlib import Path
+
+        Path(args.canonical_out).write_text(result.canonical_json())
+        print(f"wrote canonical metrics to {args.canonical_out}")
     step = max(1, len(result.samples) // 20)
     print(format_series(
         "running containers over time",
@@ -275,6 +298,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="processes for the rack-sharded parallel sweep "
                         "(Aladdin only; 1 = serial, placements are "
                         "bit-identical either way)")
+    p.add_argument("--checkpoint", metavar="PATH",
+                   help="write a crash-consistent snapshot to PATH "
+                        "every --checkpoint-every ticks")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   metavar="N", help="checkpoint period in ticks "
+                        "(0 = never; requires --checkpoint)")
+    p.add_argument("--restore", metavar="PATH",
+                   help="resume from a snapshot written by a previous "
+                        "run; finishes bit-identical to an "
+                        "uninterrupted run")
+    p.add_argument("--canonical-out", metavar="PATH",
+                   help="write the run's canonical JSON metrics to "
+                        "PATH (for bit-identity comparison)")
+    p.add_argument("--crash-at-tick", type=int, default=None, metavar="K",
+                   help="SIGKILL the process after the first snapshot "
+                        "at or past tick K (crash-resume testing)")
     p.set_defaults(fn=cmd_online)
 
     p = sub.add_parser("experiments",

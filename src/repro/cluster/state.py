@@ -64,15 +64,18 @@ class ClusterState:
         self.assignment: dict[int, int] = {}
         #: container id -> Container (for eviction/migration bookkeeping)
         self._containers: dict[int, Container] = {}
-        #: machine id -> set of deployed container ids.  Iterating one
-        #: of these sets is deterministic for a given mutation history
-        #: (CPython int-set order depends only on the elements and
-        #: their insertion sequence) and stable between mutations of
-        #: that machine — the rescue kernel's resident ledger caches
-        #: per-machine summaries keyed to this enumeration order and
-        #: rebuilds them whenever the dirty log reports the machine
-        #: touched, which is exactly when the order may change.
-        self.machine_containers: dict[int, set[int]] = {}
+        #: machine id -> deployed container ids (an insertion-ordered
+        #: dict used as an ordered set; the values are always ``None``).
+        #: Iteration order is the deployment order of the residents
+        #: still present, which is deterministic for a given mutation
+        #: history, stable between mutations of that machine — the
+        #: rescue kernel's resident ledger caches per-machine summaries
+        #: keyed to this enumeration order and rebuilds them whenever
+        #: the dirty log reports the machine touched — and, unlike a
+        #: ``set``'s, survives a pickle round-trip unchanged, which is
+        #: what lets checkpoint/restore promise bit-identical resumed
+        #: decisions.
+        self.machine_containers: dict[int, dict[int, None]] = {}
         #: app id -> {machine id -> number of its containers there}
         self.app_machines: dict[int, dict[int, int]] = {}
         self.events: EventLog | None = EventLog() if track_events else None
@@ -286,9 +289,9 @@ class ClusterState:
         self.container_count[machine_id] += 1
         self.assignment[container.container_id] = machine_id
         self._containers[container.container_id] = container
-        self.machine_containers.setdefault(machine_id, set()).add(
+        self.machine_containers.setdefault(machine_id, {})[
             container.container_id
-        )
+        ] = None
         per_machine = self.app_machines.setdefault(container.app_id, {})
         per_machine[machine_id] = per_machine.get(machine_id, 0) + 1
         self.touch(machine_id)
@@ -303,7 +306,7 @@ class ClusterState:
         demand = container.demand_vector(self.topology.resources)
         self.available[machine_id] += demand
         self.container_count[machine_id] -= 1
-        self.machine_containers[machine_id].discard(container_id)
+        self.machine_containers[machine_id].pop(container_id, None)
         per_machine = self.app_machines[container.app_id]
         per_machine[machine_id] -= 1
         if per_machine[machine_id] == 0:
@@ -398,12 +401,115 @@ class ClusterState:
         clone.assignment = dict(self.assignment)
         clone._containers = dict(self._containers)
         clone.machine_containers = {
-            m: set(s) for m, s in self.machine_containers.items()
+            m: dict(d) for m, d in self.machine_containers.items()
         }
         clone.app_machines = {
             a: dict(d) for a, d in self.app_machines.items()
         }
         return clone
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint_payload(self) -> dict:
+        """Serialisable image of the mutable state, including the dirty
+        log and its compaction base.
+
+        The dirty log is persisted *verbatim* with its exact version
+        numbering: consumer checkpoints (feasibility cache, machine
+        index, rescue kernel) store the versions they are synced at,
+        and restoring both sides together keeps those watermarks valid
+        — the restored consumers resync from the persisted watermark
+        instead of rebuilding cold.  ``available`` is copied out, so a
+        state whose array is currently adopted into the parallel
+        sweep's shared memory checkpoints its private values.
+        """
+        return {
+            "n_machines": self.n_machines,
+            "n_dims": int(self.available.shape[1]),
+            "available": np.array(self.available),
+            "container_count": self.container_count.copy(),
+            "assignment": dict(self.assignment),
+            "containers": dict(self._containers),
+            "machine_containers": {
+                m: list(d) for m, d in self.machine_containers.items()
+            },
+            "app_machines": {a: dict(d) for a, d in self.app_machines.items()},
+            "version": self.version,
+            "dirty_log": list(self._dirty_log),
+            "log_base": self._log_base,
+            "clock": self._clock,
+            "events": self.events,
+        }
+
+    @classmethod
+    def from_payload(
+        cls,
+        payload: dict,
+        topology: ClusterTopology,
+        constraints: ConstraintSet | None = None,
+    ) -> "ClusterState":
+        """Rebuild a state from :meth:`checkpoint_payload`.
+
+        The restored state gets a **fresh** :attr:`state_uid` (uids are
+        process-local); consumers restored from the same checkpoint are
+        rebound to it explicitly.  Topology and constraints are not
+        serialised — the caller re-derives them (they are static) and a
+        machine-count mismatch is rejected up front.
+        """
+        from repro.cluster.snapshot import SnapshotError
+
+        if payload["n_machines"] != topology.n_machines:
+            raise SnapshotError(
+                f"snapshot holds {payload['n_machines']} machines, "
+                f"topology has {topology.n_machines}"
+            )
+        if payload["n_dims"] != topology.capacity.shape[1]:
+            raise SnapshotError(
+                f"snapshot holds {payload['n_dims']} resource dims, "
+                f"topology has {topology.capacity.shape[1]}"
+            )
+        state = cls(topology, constraints)
+        state.available = np.array(payload["available"], dtype=np.float64)
+        state.container_count = np.array(
+            payload["container_count"], dtype=np.int32
+        )
+        state.assignment = dict(payload["assignment"])
+        state._containers = dict(payload["containers"])
+        state.machine_containers = {
+            m: {cid: None for cid in cids}
+            for m, cids in payload["machine_containers"].items()
+        }
+        state.app_machines = {
+            a: dict(d) for a, d in payload["app_machines"].items()
+        }
+        state.version = payload["version"]
+        state._dirty_log = list(payload["dirty_log"])
+        state._log_base = payload["log_base"]
+        state._clock = payload["clock"]
+        state.events = payload["events"]
+        return state
+
+    def save(self, path: str) -> None:
+        """Write a checksummed snapshot of this state to ``path``
+        (atomic write-rename; see :mod:`repro.cluster.snapshot`)."""
+        from repro.cluster.snapshot import write_snapshot
+
+        write_snapshot(path, self.checkpoint_payload(), kind="cluster-state")
+
+    @classmethod
+    def restore(
+        cls,
+        path: str,
+        topology: ClusterTopology,
+        constraints: ConstraintSet | None = None,
+    ) -> "ClusterState":
+        """Load a state saved by :meth:`save`, verifying its checksum."""
+        from repro.cluster.snapshot import read_snapshot
+
+        return cls.from_payload(
+            read_snapshot(path, kind="cluster-state"), topology, constraints
+        )
 
     def _record(
         self,

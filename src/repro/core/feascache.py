@@ -96,6 +96,44 @@ class FeasibilityCache:
         return len(self._entries)
 
     # ------------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """Serialisable image of the cached verdicts and counters.
+
+        Entry versions refer to the bound state's dirty-log numbering;
+        they stay valid across :meth:`restore` because the state's
+        checkpoint persists the log verbatim with the same numbering.
+        """
+        return {
+            "entries": {
+                key: (entry.fit.copy(), entry.version)
+                for key, entry in self._entries.items()
+            },
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "last_recomputed": self.last_recomputed,
+        }
+
+    def restore(self, payload: dict, state_uid: int) -> None:
+        """Adopt a :meth:`checkpoint` image, rebinding to ``state_uid``.
+
+        ``state_uid`` is the uid of the *restored* state the entries
+        were checkpointed against (uids are process-local, so the
+        original uid is meaningless after a restart).  The next query
+        then resyncs each entry from its persisted version through the
+        restored dirty log — a warm resync instead of a cold rebuild.
+        """
+        self._entries = {
+            key: _Entry(fit=np.array(fit), version=version)
+            for key, (fit, version) in payload["entries"].items()
+        }
+        self._state_uid = state_uid
+        self.hits = payload["hits"]
+        self.misses = payload["misses"]
+        self.invalidations = payload["invalidations"]
+        self.last_recomputed = payload["last_recomputed"]
+
+    # ------------------------------------------------------------------
     def feasible_mask(
         self, state: ClusterState, demand: np.ndarray, app_id: int
     ) -> np.ndarray:

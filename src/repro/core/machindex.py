@@ -116,6 +116,44 @@ class MachineIndex:
         self._keys = None
 
     # ------------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """Serialisable image of the maintained order and counters.
+
+        The order itself must be persisted (not just rebuilt on
+        restore): a cold ``_rebuild`` reports no ``index_resyncs``
+        telemetry while the incremental ``_reinsert`` path does, so a
+        restored run that rebuilt cold would drift from the
+        uninterrupted run's telemetry — and a warm resync is the point
+        of checkpointing in the first place.
+        """
+        return {
+            "order": None if self._order is None else self._order.copy(),
+            "keys": None if self._keys is None else self._keys.copy(),
+            "version": self._version,
+            "rebuilds": self.rebuilds,
+            "resyncs": self.resyncs,
+            "last_resynced": self.last_resynced,
+        }
+
+    def restore(self, payload: dict, state_uid: int) -> None:
+        """Adopt a :meth:`checkpoint` image, rebinding to ``state_uid``.
+
+        The persisted ``version`` stays valid against the restored
+        state's dirty log (persisted with identical numbering), so the
+        next :meth:`sync` reinserts only the machines dirtied since the
+        checkpoint.
+        """
+        order = payload["order"]
+        keys = payload["keys"]
+        self._order = None if order is None else np.array(order)
+        self._keys = None if keys is None else np.array(keys)
+        self._version = payload["version"]
+        self._state_uid = state_uid if self._order is not None else None
+        self.rebuilds = payload["rebuilds"]
+        self.resyncs = payload["resyncs"]
+        self.last_resynced = payload["last_resynced"]
+
+    # ------------------------------------------------------------------
     def sync(self, state: ClusterState) -> None:
         """Bring the order up to date with ``state``'s current version."""
         if state.state_uid != self._state_uid or self._order is None:

@@ -164,6 +164,12 @@ def _worker_main(conn) -> None:
       resync from ``dirty_local`` (``None`` = full), answer with the
       shard's candidate ``k``-prefix as
       ``(gids, keys, affine_bits, admitted, stats)``.
+    * ``("dump",)`` — reply with a serialisable image of the worker's
+      view watermark (local version, dirty-log segments, base) and its
+      cache/index checkpoints, for the coordinator's checkpoint.
+    * ``("load", image)`` — adopt a previously dumped image onto the
+      freshly bound view (restoring the local dirty-log numbering the
+      cache/index entries are keyed to); acknowledged with ``("ok",)``.
     * ``("stop",)`` — exit.
     """
     shm: shared_memory.SharedMemory | None = None
@@ -189,6 +195,26 @@ def _worker_main(conn) -> None:
                 cache = FeasibilityCache()
                 index = MachineIndex()
                 n_total = int(shape[0])
+                conn.send(("ok",))
+                continue
+            if kind == "dump":
+                conn.send(
+                    {
+                        "view_version": view.version,
+                        "segments": [s.copy() for s in view._segments],
+                        "base": view._base,
+                        "cache": cache.checkpoint(),
+                        "index": index.checkpoint(),
+                    }
+                )
+                continue
+            if kind == "load":
+                _, image = msg
+                view.version = image["view_version"]
+                view._segments = [np.array(s) for s in image["segments"]]
+                view._base = image["base"]
+                cache.restore(image["cache"], view.state_uid)
+                index.restore(image["index"], view.state_uid)
                 conn.send(("ok",))
                 continue
             _, dirty_local, demand, k, scope, forbidden, affine = msg
@@ -393,16 +419,76 @@ class ParallelSweep:
         return machines, recomputed, admitted
 
     # ------------------------------------------------------------------
+    def checkpoint(self) -> dict | None:
+        """Serialisable image of the sweep's watermark and worker state.
+
+        ``None`` when no state is attached (nothing to persist) or a
+        worker cannot answer (died mid-run) — the restore side then
+        starts the sweep cold, which costs one full resync but never
+        corrupts.  The per-worker images carry each shard's local
+        dirty-log watermark plus its cache/index checkpoints, so a
+        restored sweep resumes with the exact per-shard sync points the
+        uninterrupted run would have had.
+        """
+        if self._state is None or not self._conns:
+            return None
+        try:
+            for conn in self._conns:
+                conn.send(("dump",))
+            workers = [conn.recv() for conn in self._conns]
+        except (EOFError, BrokenPipeError, OSError):  # pragma: no cover
+            return None
+        return {
+            "bounds": list(self._bounds),
+            "synced_version": self._synced_version,
+            "sweeps": self.sweeps,
+            "workers": workers,
+        }
+
+    def restore(self, state: ClusterState, payload: dict | None) -> None:
+        """Re-attach to ``state`` and adopt a :meth:`checkpoint` image.
+
+        Workers are re-spawned and the restored ``available`` array is
+        re-adopted into fresh shared memory by the ordinary attach
+        path; the image then reloads each worker's shard-local
+        watermark and caches.  A ``None`` payload or a shard-layout
+        mismatch (different worker count or cluster size) falls back to
+        the cold attach — a full resync, never silent corruption.
+        """
+        self._attach(state)
+        if payload is None or list(payload["bounds"]) != list(self._bounds):
+            return
+        self.sweeps = payload["sweeps"]
+        for conn, image in zip(self._conns, payload["workers"]):
+            conn.send(("load", image))
+        for conn in self._conns:
+            conn.recv()
+        # The persisted watermark is typically older than the attach
+        # point (deploys follow the last plan_block); the next query
+        # ships exactly the machines dirtied since, as the
+        # uninterrupted run would.
+        self._synced_version = payload["synced_version"]
+
+    # ------------------------------------------------------------------
     def _detach_state(self) -> None:
         if self._state is not None and self._shm is not None:
             # Hand the state back a private copy before the shared
             # buffer goes away — callers may keep using it serially.
             self._state.available = np.array(self._state.available)
         if self._shm is not None:
+            # Unlink *before* close: close() raises BufferError while
+            # any live view still maps the buffer, and the old
+            # close-then-unlink order leaked the /dev/shm segment
+            # whenever that happened.  Unlinking first removes the name
+            # unconditionally; the mapping itself is released when the
+            # last view dies.
             try:
-                self._shm.close()
                 self._shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            try:
+                self._shm.close()
+            except BufferError:  # a live external view; freed with it
                 pass
             self._shm = None
         self._state = None
@@ -424,9 +510,17 @@ class ParallelSweep:
         self._conns = []
 
     def close(self) -> None:
-        """Stop the workers and release the shared memory (idempotent)."""
-        self._stop_procs()
-        self._detach_state()
+        """Stop the workers and release the shared memory.
+
+        Idempotent and safe against dead children: a worker killed
+        mid-sweep must not keep the shared segment alive, so the
+        detach (which unlinks the segment) runs even when stopping the
+        workers fails.
+        """
+        try:
+            self._stop_procs()
+        finally:
+            self._detach_state()
 
 
 def _slice_ids(ids: np.ndarray | None, lo: int, hi: int) -> np.ndarray | None:

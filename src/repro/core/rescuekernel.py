@@ -208,6 +208,61 @@ class RescueKernel:
         #: lifetime count of kernel-planned rescues
         self.invocations = 0
 
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """Serialisable image of the memos that carry *charged* costs.
+
+        What is persisted and what is deliberately dropped follows the
+        bit-identity requirement of checkpoint/restore:
+
+        * ``dominance`` entries and the ``_plans``/``_failures`` memos
+          **must** survive — a failure-memo hit replays its stored
+          ``scanned``/``explored`` charges and a plan-memo hit skips
+          the per-mover ``explored`` charges, so a cold restart would
+          change the resumed run's counters.
+        * ``_forbidden``, ``_admissible`` and the resident ledger are
+          dropped: rebuilding them is charge-free (pure state reads, or
+          dominance syncs that are no-ops because every admissible-memo
+          store synced its dominance entry at the same version the
+          checkpoint captured), so the restored run stays bit-identical
+          while the snapshot stays small.
+        """
+        uid = self.dominance._state_uid
+        return {
+            "dominance": self.dominance.checkpoint(),
+            "plans": {
+                key: value[1:]
+                for key, value in self._plans.items()
+                if value[0] == uid
+            },
+            "failures": {
+                key: value[1:]
+                for key, value in self._failures.items()
+                if value[0] == uid
+            },
+            "invocations": self.invocations,
+        }
+
+    def restore(self, payload: dict, state: ClusterState) -> None:
+        """Adopt a :meth:`checkpoint` image against the restored state.
+
+        Memo entries are rewritten to the restored state's uid; their
+        stored versions remain valid because the state checkpoint
+        persists the dirty log with identical numbering.
+        """
+        uid = state.state_uid
+        self.dominance.restore(payload["dominance"], uid)
+        self._plans = {
+            key: (uid, *rest) for key, rest in payload["plans"].items()
+        }
+        self._failures = {
+            key: (uid, *rest) for key, rest in payload["failures"].items()
+        }
+        self.invocations = payload["invocations"]
+        self._forbidden = {}
+        self._admissible = {}
+        self.ledger = ResidentLedger()
+
     def _forbidden_mask(self, state: ClusterState, app_id: int) -> np.ndarray:
         """Incrementally synced ``state.forbidden_mask`` (read-only)."""
         hit = self._forbidden.get(app_id)

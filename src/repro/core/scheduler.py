@@ -96,6 +96,35 @@ class AladdinScheduler(Scheduler):
             self.parallel.close()
 
     # ------------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """Serialisable image of every cross-round ledger; see
+        :func:`engine_checkpoint`."""
+        return engine_checkpoint(self)
+
+    def restore_checkpoint(self, payload: dict, state: ClusterState) -> None:
+        """Adopt a :meth:`checkpoint` image against a restored ``state``;
+        see :func:`engine_restore`."""
+        engine_restore(self, payload, state)
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        payload: dict,
+        state: ClusterState,
+        config: AladdinConfig | None = None,
+    ) -> "AladdinScheduler":
+        """Build a scheduler whose ledgers resume from ``payload``.
+
+        ``config`` must match the configuration the checkpoint was
+        taken under for the resumed run to be bit-identical (a
+        mismatched kernel/parallel layout degrades those components to
+        a cold start instead of corrupting).
+        """
+        engine = cls(config)
+        engine.restore_checkpoint(payload, state)
+        return engine
+
+    # ------------------------------------------------------------------
     def schedule(
         self, containers: list[Container], state: ClusterState
     ) -> ScheduleResult:
@@ -411,6 +440,59 @@ class AladdinScheduler(Scheduler):
                 state.evict(cid)
                 del result.placements[cid]
             result.undeployed[cid] = reason
+
+
+# ----------------------------------------------------------------------
+# engine-shared checkpoint/restore
+# ----------------------------------------------------------------------
+def engine_checkpoint(engine) -> dict:
+    """Image of an engine's cross-round ledgers, for a snapshot payload.
+
+    Shared by both engines (``engine`` exposes ``feas_cache``,
+    ``machine_index``, ``rescue_kernel`` and ``parallel``): the ledgers
+    are the warm state a restart would otherwise rebuild cold, and a
+    cold rebuild is not only slower but *observably different* — the
+    machine index reports ``index_resyncs`` telemetry on incremental
+    resyncs and none on rebuilds, and the rescue memos replay stored
+    ``explored`` charges — so bit-identical resumption requires
+    persisting them.  The flow engine's ``last_network`` is *not*
+    persisted: it is rebuilt per scheduling window and carries no
+    cross-round charges.
+    """
+    return {
+        "feas_cache": engine.feas_cache.checkpoint(),
+        "machine_index": engine.machine_index.checkpoint(),
+        "batch_placed": getattr(engine, "batch_placed", 0),
+        "rescue_kernel": (
+            engine.rescue_kernel.checkpoint()
+            if engine.rescue_kernel is not None
+            else None
+        ),
+        "parallel": (
+            engine.parallel.checkpoint() if engine.parallel is not None else None
+        ),
+    }
+
+
+def engine_restore(engine, payload: dict, state: ClusterState) -> None:
+    """Adopt an :func:`engine_checkpoint` image against a restored state.
+
+    Every ledger is rebound to the restored state's fresh uid; the
+    persisted sync versions stay valid because the state checkpoint
+    carries the dirty log verbatim.  Components present on only one
+    side (e.g. the checkpoint was taken without a rescue kernel, or
+    with a different worker count) start cold — a full resync on first
+    use, never silent corruption.
+    """
+    engine.feas_cache.restore(payload["feas_cache"], state.state_uid)
+    engine.machine_index.restore(payload["machine_index"], state.state_uid)
+    if hasattr(engine, "batch_placed"):
+        engine.batch_placed = payload.get("batch_placed", 0)
+    kernel_image = payload.get("rescue_kernel")
+    if engine.rescue_kernel is not None and kernel_image is not None:
+        engine.rescue_kernel.restore(kernel_image, state)
+    if engine.parallel is not None:
+        engine.parallel.restore(state, payload.get("parallel"))
 
 
 # ----------------------------------------------------------------------

@@ -40,6 +40,8 @@ from repro.core.scheduler import (
     _derive_weights_for,
     _group_blocks,
     drain_requeue,
+    engine_checkpoint,
+    engine_restore,
     final_repair,
 )
 from repro.flownet.capacity import VectorCapacity
@@ -82,6 +84,29 @@ class FlowPathSearch(Scheduler):
         """Release parallel-sweep workers and shared memory (idempotent)."""
         if self.parallel is not None:
             self.parallel.close()
+
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """Serialisable image of the cross-round ledgers (shared layout
+        with the vectorised engine).  ``last_network`` is rebuilt per
+        window and deliberately not persisted."""
+        return engine_checkpoint(self)
+
+    def restore_checkpoint(self, payload: dict, state: ClusterState) -> None:
+        """Adopt a :meth:`checkpoint` image against a restored state."""
+        engine_restore(self, payload, state)
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        payload: dict,
+        state: ClusterState,
+        config: AladdinConfig | None = None,
+    ) -> "FlowPathSearch":
+        """Build a flow engine whose ledgers resume from ``payload``."""
+        engine = cls(config)
+        engine.restore_checkpoint(payload, state)
+        return engine
 
     # ------------------------------------------------------------------
     def schedule(

@@ -13,7 +13,22 @@ Time is discrete ticks.  Each tick:
 
 1. expired applications depart (their containers are evicted);
 2. newly arrived applications are scheduled as one submission batch;
-3. cluster metrics are sampled.
+3. cluster metrics are sampled;
+4. optionally, a crash-consistent checkpoint is written.
+
+Checkpoint/restore (``run(checkpoint_every=..., checkpoint_path=...)``
+and ``run(restore_from=...)``) makes the simulation restartable: a run
+killed at tick *k* and resumed from its last snapshot finishes
+**bit-identical** (:meth:`OnlineResult.canonical_json`) to an
+uninterrupted run.  The snapshot persists the cluster state with its
+dirty log, the partial :class:`OnlineResult` (samples *and* merged
+telemetry — a resumed run must not re-base or double-count the
+pre-crash counters), the arrival/departure cursors, and the
+scheduler's cross-round ledgers
+(:meth:`~repro.core.scheduler.AladdinScheduler.checkpoint`); the
+arrival schedule itself is recomputed from the config seed, and a
+fingerprint in the snapshot rejects a restore under a different trace,
+config or scheduler.
 """
 
 from __future__ import annotations
@@ -24,6 +39,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.base import Scheduler
+from repro.cluster.snapshot import SnapshotError, read_snapshot, write_snapshot
 from repro.cluster.state import ClusterState
 from repro.cluster.topology import build_cluster
 from repro.telemetry import SchedulerTelemetry
@@ -174,9 +190,40 @@ class OnlineSimulator:
         n = max(1, round(trace.config.n_machines * self.config.machine_pool_factor))
         self._topology = build_cluster(n)
 
-    def run(self, scheduler: Scheduler) -> OnlineResult:
+    def run(
+        self,
+        scheduler: Scheduler,
+        *,
+        checkpoint_every: int | None = None,
+        checkpoint_path: str | None = None,
+        restore_from: str | None = None,
+        on_checkpoint=None,
+    ) -> OnlineResult:
+        """Drive ``scheduler`` through the churn, optionally checkpointed.
+
+        Parameters
+        ----------
+        checkpoint_every / checkpoint_path:
+            Write a crash-consistent snapshot to ``checkpoint_path``
+            every ``checkpoint_every`` ticks (atomic write-rename, so a
+            crash mid-write keeps the previous snapshot intact).
+        restore_from:
+            Resume from a snapshot written by a previous run.  The
+            trace, config and scheduler must match the snapshot's
+            fingerprint; the resumed run finishes bit-identical to an
+            uninterrupted one.
+        on_checkpoint:
+            ``callback(tick, path)`` invoked after each snapshot is
+            durably on disk (crash-injection hook for tests/CI).
+        """
         try:
-            return self._run(scheduler)
+            return self._run(
+                scheduler,
+                checkpoint_every=checkpoint_every,
+                checkpoint_path=checkpoint_path,
+                restore_from=restore_from,
+                on_checkpoint=on_checkpoint,
+            )
         finally:
             # Schedulers may hold external resources (the parallel
             # sweep's worker processes and shared memory); release them
@@ -185,14 +232,60 @@ class OnlineSimulator:
             if callable(close):
                 close()
 
-    def _run(self, scheduler: Scheduler) -> OnlineResult:
+    # ------------------------------------------------------------------
+    def _fingerprint(self, scheduler: Scheduler) -> dict:
+        """What a snapshot must match to be restorable into this run."""
+        cfg = self.config
+        return {
+            "n_apps": self.trace.n_apps,
+            "n_containers": self.trace.n_containers,
+            "n_machines": self._topology.n_machines,
+            "ticks": cfg.ticks,
+            "lifetime_ticks": list(cfg.lifetime_ticks),
+            "arrival_order": cfg.arrival_order.value,
+            "seed": cfg.seed,
+            "machine_pool_factor": cfg.machine_pool_factor,
+            "scheduler": scheduler.name,
+        }
+
+    def _write_checkpoint(
+        self,
+        path: str,
+        scheduler: Scheduler,
+        state: ClusterState,
+        result: OnlineResult,
+        departures: dict[int, list[int]],
+        idx: int,
+        tick: int,
+    ) -> None:
+        take = getattr(scheduler, "checkpoint", None)
+        payload = {
+            "fingerprint": self._fingerprint(scheduler),
+            "tick": tick,
+            "idx": idx,
+            "departures": {t: list(c) for t, c in departures.items()},
+            "result": result,
+            "state": state.checkpoint_payload(),
+            "engine": take() if callable(take) else None,
+        }
+        write_snapshot(path, payload, kind="online-sim")
+
+    def _run(
+        self,
+        scheduler: Scheduler,
+        checkpoint_every: int | None = None,
+        checkpoint_path: str | None = None,
+        restore_from: str | None = None,
+        on_checkpoint=None,
+    ) -> OnlineResult:
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
-        state = ClusterState(self._topology, self.trace.constraints)
         apps = order_applications(self.trace, cfg.arrival_order)
 
         # Arrival tick per application, uniformly spread; lifetime
-        # log-uniform over the configured range.
+        # log-uniform over the configured range.  Derived from the
+        # config seed alone, so a restored run recomputes the exact
+        # schedule instead of persisting it.
         arrival_tick = np.sort(rng.integers(0, cfg.ticks, len(apps)))
         lo, hi = cfg.lifetime_ticks
         lifetimes = np.exp(
@@ -204,14 +297,43 @@ class OnlineSimulator:
         for c in self.trace.containers:
             by_app.setdefault(c.app_id, []).append(c)
 
-        #: departure tick -> container ids to evict
-        departures: dict[int, list[int]] = {}
-        result = OnlineResult()
-        out: list[TickSample] = result.samples
-
         horizon = cfg.ticks + int(lifetimes.max()) + 1
-        idx = 0
-        for tick in range(horizon):
+
+        if restore_from is not None:
+            payload = read_snapshot(restore_from, kind="online-sim")
+            expected = self._fingerprint(scheduler)
+            if payload["fingerprint"] != expected:
+                raise SnapshotError(
+                    "snapshot fingerprint mismatch: snapshot was taken "
+                    f"under {payload['fingerprint']}, resuming under "
+                    f"{expected}"
+                )
+            state = ClusterState.from_payload(
+                payload["state"], self._topology, self.trace.constraints
+            )
+            result: OnlineResult = payload["result"]
+            departures = {
+                int(t): list(c) for t, c in payload["departures"].items()
+            }
+            idx = int(payload["idx"])
+            start_tick = int(payload["tick"]) + 1
+            restore = getattr(scheduler, "restore_checkpoint", None)
+            if payload["engine"] is not None and callable(restore):
+                restore(payload["engine"], state)
+        else:
+            state = ClusterState(self._topology, self.trace.constraints)
+            #: departure tick -> container ids to evict
+            departures = {}
+            result = OnlineResult()
+            idx = 0
+            start_tick = 0
+
+        out: list[TickSample] = result.samples
+        if idx >= len(apps) and not departures:
+            # The snapshot was taken on the run's final tick; the
+            # uninterrupted run broke out right after sampling it.
+            return result
+        for tick in range(start_tick, horizon):
             departed = 0
             for cid in departures.pop(tick, ()):  # 1. departures
                 if cid in state.assignment:
@@ -274,6 +396,17 @@ class OnlineSimulator:
                     rescue_kernel_invocations=rescue_kernel_invocations,
                 )
             )
+            if (  # 4. checkpoint
+                checkpoint_every
+                and checkpoint_path
+                and (tick + 1) % checkpoint_every == 0
+            ):
+                self._write_checkpoint(
+                    checkpoint_path, scheduler, state, result,
+                    departures, idx, tick,
+                )
+                if on_checkpoint is not None:
+                    on_checkpoint(tick, checkpoint_path)
             if idx >= len(apps) and not departures:
                 break
         return result

@@ -1,0 +1,243 @@
+"""Snapshot envelope + ClusterState checkpoint/restore guarantees.
+
+Pins the three properties the crash-resume machinery rests on:
+integrity (checksum rejects corruption), atomicity (write-rename never
+leaves a partial file), and the stale-watermark contract (a consumer
+whose persisted version predates log compaction falls back to a full
+resync, never to stale verdicts).
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cluster.constraints import AntiAffinityRule, ConstraintSet
+from repro.cluster.container import Container
+from repro.cluster.snapshot import (
+    _HEADER,
+    FORMAT_VERSION,
+    MAGIC,
+    SnapshotError,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import build_cluster
+from repro.core.feascache import FeasibilityCache
+
+
+def container(cid, app=0, cpu=4.0, prio=0):
+    return Container(
+        container_id=cid, app_id=app, instance=0, cpu=cpu, mem_gb=cpu * 2,
+        priority=prio,
+    )
+
+
+@pytest.fixture
+def topo():
+    return build_cluster(6)
+
+
+@pytest.fixture
+def constraints():
+    return ConstraintSet([AntiAffinityRule(0, 0), AntiAffinityRule(1, 2)])
+
+
+def populated_state(topo, constraints, track_events=False):
+    state = ClusterState(topo, constraints, track_events=track_events)
+    state.deploy(container(0, app=0, cpu=4.0), 1)
+    state.deploy(container(1, app=1, cpu=8.0), 2)
+    state.deploy(container(2, app=3, cpu=2.0), 2)
+    state.deploy(container(3, app=3, cpu=2.0), 4)
+    state.migrate(3, 5)
+    state.evict(2)
+    state.touch(0)
+    return state
+
+
+# ----------------------------------------------------------------------
+# envelope: round-trip, integrity, atomicity
+# ----------------------------------------------------------------------
+class TestEnvelope:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "snap.bin")
+        payload = {"a": np.arange(4), "b": [1, 2, 3]}
+        write_snapshot(path, payload, kind="test")
+        back = read_snapshot(path, kind="test")
+        assert back["b"] == [1, 2, 3]
+        assert back["a"].tolist() == [0, 1, 2, 3]
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot read"):
+            read_snapshot(str(tmp_path / "absent.bin"), kind="test")
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = str(tmp_path / "snap.bin")
+        write_snapshot(path, {"x": 1}, kind="test")
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[: _HEADER.size - 3])
+        with pytest.raises(SnapshotError, match="truncated"):
+            read_snapshot(path, kind="test")
+
+    def test_truncated_payload_rejected(self, tmp_path):
+        path = str(tmp_path / "snap.bin")
+        write_snapshot(path, {"x": list(range(100))}, kind="test")
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[:-7])
+        with pytest.raises(SnapshotError, match="truncated"):
+            read_snapshot(path, kind="test")
+
+    def test_corrupted_payload_rejected(self, tmp_path):
+        path = str(tmp_path / "snap.bin")
+        write_snapshot(path, {"x": list(range(100))}, kind="test")
+        data = bytearray(open(path, "rb").read())
+        data[_HEADER.size + 10] ^= 0xFF  # flip one payload bit-pattern
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(SnapshotError, match="checksum"):
+            read_snapshot(path, kind="test")
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = str(tmp_path / "snap.bin")
+        open(path, "wb").write(b"not a snapshot at all" * 10)
+        with pytest.raises(SnapshotError, match="not an Aladdin snapshot"):
+            read_snapshot(path, kind="test")
+
+    def test_future_format_version_rejected(self, tmp_path):
+        path = str(tmp_path / "snap.bin")
+        blob = pickle.dumps({"kind": "test", "payload": 1})
+        import hashlib
+
+        header = _HEADER.pack(
+            MAGIC, FORMAT_VERSION + 1, hashlib.sha256(blob).digest(), len(blob)
+        )
+        open(path, "wb").write(header + blob)
+        with pytest.raises(SnapshotError, match="format version"):
+            read_snapshot(path, kind="test")
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = str(tmp_path / "snap.bin")
+        write_snapshot(path, {"x": 1}, kind="cluster-state")
+        with pytest.raises(SnapshotError, match="expected 'online-sim'"):
+            read_snapshot(path, kind="online-sim")
+
+    def test_write_is_atomic_no_partial_or_tmp_residue(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "snap.bin")
+        write_snapshot(path, {"gen": 1}, kind="test")
+
+        # Crash the rename step of the next write: the previous
+        # complete snapshot must survive and no temp file may linger.
+        def boom(src, dst):
+            raise OSError("simulated crash mid-rename")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError, match="simulated crash"):
+            write_snapshot(path, {"gen": 2}, kind="test")
+        monkeypatch.undo()
+
+        assert read_snapshot(path, kind="test") == {"gen": 1}
+        assert os.listdir(tmp_path) == ["snap.bin"]
+
+
+# ----------------------------------------------------------------------
+# ClusterState round-trip
+# ----------------------------------------------------------------------
+class TestStateRoundTrip:
+    def test_everything_survives(self, tmp_path, topo, constraints):
+        state = populated_state(topo, constraints)
+        path = str(tmp_path / "state.bin")
+        state.save(path)
+        back = ClusterState.restore(path, topo, constraints)
+
+        assert back.assignment == state.assignment
+        assert np.array_equal(back.available, state.available)
+        assert np.array_equal(back.container_count, state.container_count)
+        assert back.version == state.version
+        assert back._dirty_log == state._dirty_log
+        assert back._log_base == state._log_base
+        assert back.app_machines == state.app_machines
+        # resident enumeration order is part of the determinism contract
+        assert {m: list(d) for m, d in back.machine_containers.items()} == {
+            m: list(d) for m, d in state.machine_containers.items()
+        }
+        assert back.anti_affinity_violations() == state.anti_affinity_violations()
+
+    def test_restored_state_keeps_mutating(self, tmp_path, topo, constraints):
+        state = populated_state(topo, constraints)
+        path = str(tmp_path / "state.bin")
+        state.save(path)
+        back = ClusterState.restore(path, topo, constraints)
+        back.deploy(container(50, app=3), 0)
+        state.deploy(container(50, app=3), 0)
+        assert back.assignment == state.assignment
+        assert back.version == state.version
+
+    def test_fresh_uid_forces_foreign_consumers_to_reset(
+        self, tmp_path, topo, constraints
+    ):
+        state = populated_state(topo, constraints)
+        path = str(tmp_path / "state.bin")
+        state.save(path)
+        back = ClusterState.restore(path, topo, constraints)
+        assert back.state_uid != state.state_uid
+
+    def test_events_survive(self, tmp_path, topo, constraints):
+        state = populated_state(topo, constraints, track_events=True)
+        path = str(tmp_path / "state.bin")
+        state.save(path)
+        back = ClusterState.restore(path, topo, constraints)
+        assert back.events == state.events
+
+    def test_topology_mismatch_rejected(self, tmp_path, topo, constraints):
+        state = populated_state(topo, constraints)
+        path = str(tmp_path / "state.bin")
+        state.save(path)
+        with pytest.raises(SnapshotError, match="machines"):
+            ClusterState.restore(path, build_cluster(3), constraints)
+
+
+# ----------------------------------------------------------------------
+# stale-watermark contract: compaction past the persisted version
+# means full resync, never silently stale verdicts
+# ----------------------------------------------------------------------
+class TestStaleWatermarkFallback:
+    def test_cache_restored_past_compaction_recomputes_fully(
+        self, topo, constraints
+    ):
+        state = populated_state(topo, constraints)
+        demand = np.array([4.0, 8.0])
+        cache = FeasibilityCache(report_telemetry=False)
+        cache.feasible_mask(state, demand, app_id=3)
+        image = cache.checkpoint()
+        synced_at = next(iter(image["entries"].values()))[1]
+
+        # Compact the log well past the checkpointed watermark while
+        # mutating actual feasibility (fill machine 3 completely).
+        state.deploy(container(90, app=4, cpu=state.available[3, 0]), 3)
+        for _ in range(state._log_limit + 1):
+            state.touch(0)
+        assert state.dirty_since(synced_at) is None  # log really compacted
+
+        restored = FeasibilityCache(report_telemetry=False)
+        restored.restore(image, state.state_uid)
+        got = restored.feasible_mask(state, demand, app_id=3)
+        want = state.feasible_mask(demand, app_id=3)
+        assert got.tolist() == want.tolist()
+        assert not got[3]  # the post-checkpoint mutation is visible
+
+    def test_resync_inside_log_window_is_warm(self, topo, constraints):
+        state = populated_state(topo, constraints)
+        demand = np.array([4.0, 8.0])
+        cache = FeasibilityCache(report_telemetry=False)
+        cache.feasible_mask(state, demand, app_id=3)
+        image = cache.checkpoint()
+
+        state.deploy(container(91, app=4, cpu=state.available[3, 0]), 3)
+        restored = FeasibilityCache(report_telemetry=False)
+        restored.restore(image, state.state_uid)
+        before = restored.misses
+        got = restored.feasible_mask(state, demand, app_id=3)
+        assert got.tolist() == state.feasible_mask(demand, app_id=3).tolist()
+        # only the one dirtied machine was recomputed — warm, not cold
+        assert restored.misses - before == 1

@@ -132,6 +132,68 @@ class TestQueries:
         assert state.deployed_containers(0) == []
 
 
+class TestDirtyLogCompactionBoundary:
+    """Regression: consumers synced before the compaction base must get
+    ``None`` ("everything may have changed"), never a mis-sliced tail of
+    the log or stale verdicts.  The ``version < _log_base`` guards in
+    ``dirty_since``/``dirty_array_since`` pin this; without them the
+    slice index ``version - _log_base`` would go negative and silently
+    return the wrong suffix of the log.
+    """
+
+    def _compact(self, state):
+        for _ in range(state._log_limit + 1):
+            state.touch(3)
+        assert state._log_base > 0  # compaction actually happened
+
+    def test_pre_compaction_version_returns_none(self, state):
+        state.deploy(container(0, app=3), 1)
+        synced = state.version
+        self._compact(state)
+        assert synced < state._log_base
+        assert state.dirty_since(synced) is None
+        assert state.dirty_array_since(synced) is None
+
+    def test_version_exactly_at_base_still_served(self, state):
+        self._compact(state)
+        base = state._log_base
+        dirty = state.dirty_since(base)
+        assert dirty is not None
+        assert dirty == {3}
+        arr = state.dirty_array_since(base)
+        assert arr is not None and arr.tolist() == [3]
+
+    def test_negative_slice_would_lie_guard_prevents_it(self, state):
+        # Dirty machines 0 and 1 before compaction, then only 3 after.
+        state.touch(0)
+        state.touch(1)
+        synced = 1  # synced after touch(0), before touch(1)
+        self._compact(state)
+        # A naive slice self._dirty_log[synced - self._log_base:] would
+        # return a short tail of post-compaction entries — all machine 3
+        # — silently omitting machine 1's mutation.  The guard reports
+        # "unknown" instead.
+        assert state.dirty_since(synced) is None
+
+    def test_current_version_is_empty_even_after_compaction(self, state):
+        self._compact(state)
+        assert state.dirty_since(state.version) == set()
+        assert state.dirty_array_since(state.version).size == 0
+
+    def test_cache_falls_back_to_full_recompute(self, state):
+        from repro.core.feascache import FeasibilityCache
+
+        demand = np.array([4.0, 8.0])
+        cache = FeasibilityCache(report_telemetry=False)
+        cache.feasible_mask(state, demand, app_id=3)
+        # fill machine 2 to capacity, then compact past the sync point
+        state.deploy(container(7, app=3, cpu=state.available[2, 0]), 2)
+        self._compact(state)
+        got = cache.feasible_mask(state, demand, app_id=3)
+        assert got.tolist() == state.feasible_mask(demand, app_id=3).tolist()
+        assert not got[2]
+
+
 class TestEventTracking:
     def test_events_recorded_when_enabled(self):
         from repro.cluster.events import EventKind

@@ -315,6 +315,113 @@ def test_workers_cap_at_rack_count():
         sweep.close()
 
 
+def _shm_exists(name: str) -> bool:
+    import os
+
+    return os.path.exists(f"/dev/shm/{name}")
+
+
+def test_close_after_worker_kill_leaves_no_shm_residue():
+    """Regression: close() used to unlink the segment only on the clean
+    path — a worker killed mid-run (SIGKILL, OOM) left a /dev/shm leak.
+    close() must now be idempotent against dead children and always
+    remove the segment."""
+    sweep = ParallelSweep(2)
+    state = ClusterState(build_cluster(8, machines_per_rack=4), ConstraintSet())
+    sweep.plan_block(state, np.array([1.0, 1.0]), 0, 1, None)
+    shm_name = sweep._shm.name
+    assert _shm_exists(shm_name)
+    for proc in sweep._procs:  # simulate a hard worker crash
+        proc.kill()
+        proc.join(timeout=5)
+    sweep.close()
+    assert sweep._shm is None
+    assert not _shm_exists(shm_name), "segment must be unlinked"
+    sweep.close()  # idempotent after the dirty shutdown
+    # ...and the sweep is restartable afterwards.
+    machines, _, _ = sweep.plan_block(state, np.array([1.0, 1.0]), 0, 1, None)
+    assert machines.size == 1
+    sweep.close()
+
+
+@pytest.mark.filterwarnings("ignore::pytest.PytestUnraisableExceptionWarning")
+def test_close_unlinks_even_with_live_exported_view():
+    """A raw exported memoryview keeps shm.close() raising BufferError;
+    the old close-then-unlink order leaked the segment whenever that
+    happened.  Unlink-first removes the name regardless."""
+    sweep = ParallelSweep(2)
+    state = ClusterState(build_cluster(8, machines_per_rack=4), ConstraintSet())
+    sweep.plan_block(state, np.array([1.0, 1.0]), 0, 1, None)
+    shm_name = sweep._shm.name
+    pin = sweep._shm.buf[0:8]  # exported pointer → close() raises
+    try:
+        sweep.close()
+        assert not _shm_exists(shm_name), "unlink must not be skipped"
+        # The state still got its private array back.
+        assert isinstance(state.available, np.ndarray)
+        state.available[0, 0] -= 1.0
+    finally:
+        pin.release()
+
+
+def test_sweep_checkpoint_restore_round_trip():
+    demand = np.array([1.0, 1.0])
+    sweep = ParallelSweep(2)
+    try:
+        state = ClusterState(
+            build_cluster(8, machines_per_rack=4), ConstraintSet()
+        )
+        sweep.plan_block(state, demand, 0, 2, None)
+        image = sweep.checkpoint()
+        assert image is not None
+        assert len(image["workers"]) == 2
+        state_image = state.checkpoint_payload()
+        sweep.close()
+
+        restored_state = ClusterState.from_payload(
+            state_image, build_cluster(8, machines_per_rack=4)
+        )
+        fresh = ParallelSweep(2)
+        try:
+            fresh.restore(restored_state, image)
+            assert fresh._synced_version == image["synced_version"]
+            assert fresh.sweeps == image["sweeps"]
+            machines, _, _ = fresh.plan_block(
+                restored_state, demand, 0, 2, None
+            )
+            ref = ClusterState(
+                build_cluster(8, machines_per_rack=4), ConstraintSet()
+            )
+            expected = _serial_plan(ref, demand, 0, 2, None)
+            assert machines.tolist() == expected.tolist()
+        finally:
+            fresh.close()
+    finally:
+        sweep.close()
+
+
+def test_sweep_checkpoint_none_paths():
+    sweep = ParallelSweep(2)
+    assert sweep.checkpoint() is None  # nothing attached yet
+    state = ClusterState(build_cluster(8, machines_per_rack=4), ConstraintSet())
+    sweep.plan_block(state, np.array([1.0, 1.0]), 0, 1, None)
+    for proc in sweep._procs:
+        proc.kill()
+        proc.join(timeout=5)
+    assert sweep.checkpoint() is None  # dead workers → cold restart
+    sweep.close()
+    # A None payload on restore is the documented cold fallback.
+    fresh = ParallelSweep(2)
+    try:
+        fresh.restore(state, None)
+        machines, _, _ = fresh.plan_block(
+            state, np.array([1.0, 1.0]), 0, 1, None
+        )
+        assert machines.size == 1
+    finally:
+        fresh.close()
+
+
 def test_parallel_sweep_telemetry_counter():
     from repro import telemetry
 

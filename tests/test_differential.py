@@ -483,6 +483,141 @@ def test_rescue_kernel_demonstrably_in_play():
     assert total > 0, "no replay ever invoked the rescue kernel"
 
 
+# ----------------------------------------------------------------------
+# checkpoint × batched × cached × workers axis: a run killed at tick k
+# and restored from its snapshot finishes bit-identical (canonical JSON,
+# including telemetry counters) to the uninterrupted run.
+# ----------------------------------------------------------------------
+class _Interrupt(Exception):
+    """Simulated crash raised from the on_checkpoint hook."""
+
+
+_ONLINE_TRACE = None
+
+
+def _online_trace():
+    global _ONLINE_TRACE
+    if _ONLINE_TRACE is None:
+        from repro.trace import generate_trace
+
+        _ONLINE_TRACE = generate_trace(scale=0.02, seed=0)
+    return _ONLINE_TRACE
+
+
+def checkpoint_resume_canonical(seed, make_scheduler, tmp_path, every):
+    """(uninterrupted, resumed) canonical JSON for one churn stream.
+
+    The interrupted run dies — via an exception from the crash hook —
+    immediately after its first snapshot hits the disk; a fresh
+    simulator plus a *fresh* scheduler instance then restores from that
+    snapshot and runs to completion.
+    """
+    from repro.sim.online import OnlineConfig, OnlineSimulator
+
+    trace = _online_trace()
+    cfg = OnlineConfig(ticks=15, seed=seed)
+    full = OnlineSimulator(trace, cfg).run(make_scheduler()).canonical_json()
+
+    path = str(tmp_path / f"ckpt-{seed}.bin")
+
+    def crash(tick, _path):
+        raise _Interrupt
+
+    with pytest.raises(_Interrupt):
+        OnlineSimulator(trace, cfg).run(
+            make_scheduler(), checkpoint_every=every, checkpoint_path=path,
+            on_checkpoint=crash,
+        )
+    resumed = (
+        OnlineSimulator(trace, cfg)
+        .run(make_scheduler(), restore_from=path)
+        .canonical_json()
+    )
+    return full, resumed
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_checkpoint_resume_bit_identical(seed, tmp_path):
+    """≥ 20 randomized churn streams, each killed right after a
+    seed-dependent checkpoint tick and restored: the resumed run's
+    canonical JSON — totals, telemetry counters and every per-tick
+    sample — equals the uninterrupted run's exactly."""
+    full, resumed = checkpoint_resume_canonical(
+        seed, AladdinScheduler, tmp_path, every=5 + 11 * (seed % 9)
+    )
+    assert resumed == full
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize(
+    "variant",
+    ["no-batch", "no-cache", "no-batch-no-cache", "no-rescue-kernel"],
+)
+def test_checkpoint_resume_across_ablation_grid(seed, variant, tmp_path):
+    """The checkpoint axis composes with the batched×cached×rescue
+    ablations: every degraded engine restores bit-identically too."""
+    cfg = AladdinConfig(
+        enable_batch_kernel="no-batch" not in variant,
+        enable_feasibility_cache="no-cache" not in variant,
+        enable_rescue_kernel=variant != "no-rescue-kernel",
+    )
+    full, resumed = checkpoint_resume_canonical(
+        seed, lambda: AladdinScheduler(cfg), tmp_path, every=20 + 13 * seed
+    )
+    assert resumed == full
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_checkpoint_resume_with_workers(seed, tmp_path):
+    """workers=2: the restored run re-spawns the shard workers, adopts
+    the restored ``available`` into fresh shared memory, reloads each
+    worker's shard-local watermark, and still finishes bit-identical."""
+    full, resumed = checkpoint_resume_canonical(
+        seed,
+        lambda: AladdinScheduler(AladdinConfig(workers=2)),
+        tmp_path,
+        every=25 + 10 * seed,
+    )
+    assert resumed == full
+
+
+@pytest.mark.parametrize("seed", [0, 4])
+def test_checkpoint_resume_flowpath_engine(seed, tmp_path):
+    """The reference flow-network engine honours the same contract."""
+    full, resumed = checkpoint_resume_canonical(
+        seed, FlowPathSearch, tmp_path, every=30 + 8 * seed
+    )
+    assert resumed == full
+
+
+def test_checkpoint_fingerprint_mismatch_rejected(tmp_path):
+    """A snapshot cannot be restored into a run with a different seed,
+    tick count or scheduler — the fingerprint check fails loudly
+    instead of silently splicing incompatible histories."""
+    from repro.cluster.snapshot import SnapshotError
+    from repro.sim.online import OnlineConfig, OnlineSimulator
+
+    trace = _online_trace()
+    path = str(tmp_path / "ckpt.bin")
+
+    def crash(tick, _path):
+        raise _Interrupt
+
+    with pytest.raises(_Interrupt):
+        OnlineSimulator(trace, OnlineConfig(ticks=15, seed=1)).run(
+            AladdinScheduler(), checkpoint_every=10, checkpoint_path=path,
+            on_checkpoint=crash,
+        )
+    with pytest.raises(SnapshotError, match="fingerprint"):
+        OnlineSimulator(trace, OnlineConfig(ticks=15, seed=2)).run(
+            AladdinScheduler(), restore_from=path
+        )
+    with pytest.raises(SnapshotError, match="fingerprint"):
+        OnlineSimulator(trace, OnlineConfig(ticks=15, seed=1)).run(
+            FlowPathSearch(), restore_from=path
+        )
+
+
 def test_replay_exercises_mixed_churn():
     """The harness itself must generate the mix the ISSUE demands:
     across the replay seeds there are departures, faults, repairs and
