@@ -14,6 +14,7 @@ Entry points (also wired into CI as a non-gating smoke job)::
     PYTHONPATH=src python -m benchmarks.bench_report                # full
     PYTHONPATH=src python -m benchmarks.bench_report --smoke        # CI
     PYTHONPATH=src python -m benchmarks.bench_report --mode rescue  # rescue
+    PYTHONPATH=src python -m benchmarks.bench_report --mode serve   # SLO
 
 ``--smoke`` refuses to overwrite the committed ``BENCH_fig12.json`` /
 ``BENCH_rescue.json``: it writes the ``*_smoke.json`` twin unless
@@ -452,6 +453,7 @@ def resolve_out(out: str | None, smoke: bool, force: bool, mode: str = "fig12") 
         "fig12": "BENCH_fig12.json",
         "rescue": "BENCH_rescue.json",
         "restore": "BENCH_restore.json",
+        "serve": "BENCH_serve.json",
     }
     if out is None:
         base = committed[mode]
@@ -468,13 +470,16 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fig. 12+ churn ablation -> BENCH_fig12.json"
     )
-    parser.add_argument("--mode", choices=("fig12", "rescue", "restore"),
+    parser.add_argument("--mode",
+                        choices=("fig12", "rescue", "restore", "serve"),
                         default="fig12",
                         help="fig12: cumulative ablation trajectory; "
                              "rescue: tight-cluster rescue-path kernel "
                              "vs legacy loop; restore: first-round "
                              "latency after a restart, warm cache "
-                             "resync vs cold rebuild")
+                             "resync vs cold rebuild; serve: closed-loop "
+                             "SLO load against the async placement "
+                             "service (req/s, p50/p99 decision latency)")
     parser.add_argument("--scale", type=float, default=0.05,
                         help="trace scale (default 0.05 -> 4000 machines "
                              "under the default pool factor)")
@@ -495,6 +500,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--churn-ticks", type=int, default=20,
                         help="rescue mode: hot-arrival churn ticks after "
                              "the fill phase")
+    parser.add_argument("--duration", type=float, default=10.0,
+                        help="serve mode: measured seconds per operating "
+                             "point")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="serve mode: closed-loop clients at the "
+                             "saturated operating point")
+    parser.add_argument("--batch-size", type=int, default=16,
+                        help="serve mode: containers per placement request")
+    parser.add_argument("--serve-pool-factor", type=float, default=20.0,
+                        help="serve mode machine pool factor (20.0 puts "
+                             "the default 0.05-scale trace at 10,000 "
+                             "machines)")
     parser.add_argument("--out", default=None,
                         help="output path (default per --mode: "
                              "BENCH_fig12.json / BENCH_rescue.json, or "
@@ -510,9 +527,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.smoke:
         args.scale, args.ticks, args.repeats = 0.02, 20, 1
         args.n_apps, args.churn_ticks = 80, 6
+        args.duration, args.clients = 2.0, 4
     out = resolve_out(args.out, args.smoke, args.force, mode=args.mode)
 
-    if args.mode == "rescue":
+    if args.mode == "serve":
+        from benchmarks.bench_serve import run_serve_report
+
+        report = run_serve_report(
+            args.scale, args.seed, args.serve_pool_factor,
+            args.duration, args.clients, args.batch_size,
+        )
+    elif args.mode == "rescue":
         report = run_rescue_report(
             args.seed, args.n_apps, args.util_target, args.churn_ticks,
             args.repeats,

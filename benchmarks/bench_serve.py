@@ -1,0 +1,146 @@
+"""Serving-mode SLO benchmark → ``BENCH_serve.json``.
+
+Stands up the real serving stack — :class:`repro.serve.PlacementServer`
+on a background thread, closed-loop :mod:`repro.serve.loadgen` clients
+over a unix socket — against a 10,000-machine pool (the 0.05-scale
+trace under ``machine_pool_factor=20``) and commits the service-level
+numbers the README quotes: sustained decided requests per second and
+p50/p99 decision latency, at two operating points:
+
+* ``steady`` — one closed-loop client, so every request sees an idle
+  queue and the latency numbers are pure decision time (send →
+  decision reply, one scheduling window each);
+* ``saturated`` — ``--clients`` concurrent closed loops, enough
+  pressure that windows coalesce and the admission queue works;
+  clients honor ``retry_after``, so every batch is still decided.
+
+Each operating point runs a short warmup (feasibility masks, caches,
+the packed-first index all come up on the first windows) before the
+measured interval, and asserts the admission ledger — requests admitted
+plus rejected equals frames sent, warmup included — before its row
+enters the report.
+
+Run via the report driver (the output-path policy lives there)::
+
+    PYTHONPATH=src python -m benchmarks.bench_report --mode serve          # full
+    PYTHONPATH=src python -m benchmarks.bench_report --mode serve --smoke  # CI
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import shutil
+import tempfile
+
+from repro import AladdinScheduler, generate_trace
+from repro.cluster.state import ClusterState
+from repro.serve import PlacementServer, ServeConfig, ServerThread, run_load
+from repro.sim.online import OnlineConfig, pool_topology
+
+
+def measure_serve(
+    trace,
+    topology,
+    *,
+    clients: int,
+    duration_s: float,
+    batch_size: int,
+    warmup_s: float = 1.0,
+    config: ServeConfig | None = None,
+) -> dict:
+    """One operating point: fresh server, warmup, measured closed loop.
+
+    Returns the measured interval's :meth:`LoadResult.summary` plus the
+    serving-loop counters (windows committed, coalescing, queue depth)
+    for that interval.  Raises if the admission ledger does not balance
+    or any client hit a connection error.
+    """
+    server = PlacementServer(
+        AladdinScheduler(),
+        ClusterState(topology, trace.constraints),
+        config,
+    )
+    sock_dir = tempfile.mkdtemp(prefix="aldsrv", dir="/tmp")
+    sock = os.path.join(sock_dir, "s.sock")
+    try:
+        with ServerThread(server, sock):
+            # disjoint id partition: the warmup's final batches stay
+            # resident, so the measured loop must not reuse their ids
+            warm = run_load(
+                sock, clients=clients, duration_s=warmup_s,
+                batch_size=batch_size, worker_offset=clients,
+            )
+            tele = server.telemetry
+            windows_before = tele.windows_committed
+            requests_before = tele.window_requests
+            result = run_load(
+                sock, clients=clients, duration_s=duration_s,
+                batch_size=batch_size,
+            )
+    finally:
+        shutil.rmtree(sock_dir, ignore_errors=True)
+
+    sent = warm.sent + result.sent
+    if tele.requests_admitted + tele.requests_rejected != sent:
+        raise SystemExit(
+            f"admission ledger broken: {tele.requests_admitted} admitted "
+            f"+ {tele.requests_rejected} rejected != {sent} sent"
+        )
+    if result.errors or not result.decided:
+        raise SystemExit(
+            f"unhealthy run: {result.errors} connection errors, "
+            f"{result.decided} decisions"
+        )
+    windows = tele.windows_committed - windows_before
+    window_requests = tele.window_requests - requests_before
+    row = result.summary()
+    row.update(
+        clients=clients,
+        windows_committed=windows,
+        mean_window_size=round(window_requests / windows, 2) if windows else 0.0,
+        peak_queue_depth=tele.peak_queue_depth,
+        ledger_balanced=True,
+    )
+    return row
+
+
+def run_serve_report(
+    scale: float,
+    seed: int,
+    pool_factor: float,
+    duration_s: float,
+    clients: int,
+    batch_size: int,
+) -> dict:
+    """The committed serve measurement: steady + saturated SLO rows."""
+    trace = generate_trace(scale=scale, seed=seed)
+    topology = pool_topology(trace, OnlineConfig(machine_pool_factor=pool_factor))
+    report: dict = {
+        "figure": "Serving SLO (async placement service, closed-loop load)",
+        "setup": {
+            "scale": scale,
+            "seed": seed,
+            "machine_pool_factor": pool_factor,
+            "n_machines": topology.n_machines,
+            "batch_size": batch_size,
+            "duration_s": duration_s,
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "operating_points": {},
+    }
+    for name, n_clients in (("steady", 1), ("saturated", clients)):
+        row = measure_serve(
+            trace, topology,
+            clients=n_clients, duration_s=duration_s, batch_size=batch_size,
+        )
+        report["operating_points"][name] = row
+        print(
+            f"{name:>10}: {row['throughput_rps']:8.1f} req/s sustained, "
+            f"p50 {row['latency_ms']['p50']:7.2f} ms, "
+            f"p99 {row['latency_ms']['p99']:7.2f} ms "
+            f"({n_clients} clients, {row['windows_committed']} windows, "
+            f"mean window {row['mean_window_size']})"
+        )
+    return report

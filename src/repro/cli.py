@@ -8,6 +8,7 @@ points without writing any Python:
 * ``replay``      — replay a trace through one or more schedulers;
 * ``min-cluster`` — the Fig. 10 minimum-cluster-size search;
 * ``online``      — the arrival/departure churn simulation;
+* ``serve``       — live placement serving over a unix socket;
 * ``faults``      — replay, kill machines, recover;
 * ``experiments`` — regenerate the full evaluation as markdown.
 
@@ -140,20 +141,7 @@ def cmd_online(args) -> int:
             seed=args.seed,
         ),
     )
-    if args.scheduler == "Aladdin" and (
-        args.no_cache or args.no_batch or args.no_rescue_kernel
-        or args.workers > 1
-    ):
-        scheduler = AladdinScheduler(
-            AladdinConfig(
-                enable_feasibility_cache=not args.no_cache,
-                enable_batch_kernel=not args.no_batch,
-                enable_rescue_kernel=not args.no_rescue_kernel,
-                workers=args.workers,
-            )
-        )
-    else:
-        scheduler = factories[args.scheduler]()
+    scheduler = _aladdin_variant(args, factories)
     on_checkpoint = None
     if args.crash_at_tick is not None:
         import os
@@ -193,6 +181,81 @@ def cmd_online(args) -> int:
         print(f"scheduling wall time {result.total_elapsed_s * 1000:.1f} ms "
               f"across {sum(1 for s in result.samples if s.arrived_containers)}"
               " rounds")
+    return 0
+
+
+def _aladdin_variant(args, factories):
+    """The scheduler an ``online``/``serve`` invocation asked for."""
+    if args.scheduler == "Aladdin" and (
+        args.no_cache or args.no_batch or args.no_rescue_kernel
+        or args.workers > 1
+    ):
+        return AladdinScheduler(
+            AladdinConfig(
+                enable_feasibility_cache=not args.no_cache,
+                enable_batch_kernel=not args.no_batch,
+                enable_rescue_kernel=not args.no_rescue_kernel,
+                workers=args.workers,
+            )
+        )
+    return factories[args.scheduler]()
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.cluster.state import ClusterState
+    from repro.serve import PlacementServer, ServeConfig
+    from repro.sim.online import OnlineConfig, pool_topology
+
+    trace = _trace_from(args)
+    factories = _scheduler_factories()
+    if args.scheduler not in factories:
+        print(f"unknown scheduler {args.scheduler}", file=sys.stderr)
+        return 2
+    scheduler = _aladdin_variant(args, factories)
+    online_cfg = OnlineConfig(
+        ticks=args.ticks,
+        arrival_order=_order_from(args),
+        seed=args.seed,
+        machine_pool_factor=args.pool_factor,
+    )
+    topology = pool_topology(trace, online_cfg)
+    serve_cfg = ServeConfig(
+        max_queue=args.max_queue,
+        window_max=args.window_max,
+        retry_after_s=args.retry_after,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=args.checkpoint,
+    )
+    on_window = None
+    if args.crash_after_window is not None:
+        import os
+        import signal
+
+        def on_window(tick, ckpt, _k=args.crash_after_window):
+            # Crash-injection for the serve fault tests: die hard
+            # after the first checkpointed window at or past _k — the
+            # window is committed and its snapshot durable, but no
+            # reply has gone out yet.
+            if tick >= _k and ckpt is not None:
+                os.kill(os.getpid(), signal.SIGKILL)
+
+    if args.restore:
+        server = PlacementServer.restore(
+            args.restore, scheduler, topology, trace.constraints,
+            serve_cfg, on_window=on_window,
+        )
+    else:
+        server = PlacementServer(
+            scheduler, ClusterState(topology, trace.constraints),
+            serve_cfg, on_window=on_window,
+        )
+    print(f"serving on {args.socket}: {topology.n_machines} machines, "
+          f"scheduler {scheduler.name}, queue bound {args.max_queue}, "
+          f"window max {args.window_max}", flush=True)
+    asyncio.run(server.run(args.socket))
+    print(f"served {server.windows} windows; {server.telemetry.summary()}")
     return 0
 
 
@@ -241,6 +304,25 @@ def cmd_faults(args) -> int:
 
 
 # ----------------------------------------------------------------------
+def _add_variant_args(parser: argparse.ArgumentParser) -> None:
+    """The Aladdin ablation axes shared by ``online`` and ``serve``."""
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the cross-round feasibility cache "
+                             "(Aladdin only; cached-vs-cold ablation)")
+    parser.add_argument("--no-batch", action="store_true",
+                        help="disable the batched block placement kernel "
+                             "(Aladdin only; batched-vs-loop ablation)")
+    parser.add_argument("--no-rescue-kernel", action="store_true",
+                        help="plan rescues with the legacy per-machine loop "
+                             "instead of the vectorized rescue kernel "
+                             "(Aladdin only; decisions are bit-identical "
+                             "either way)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="processes for the rack-sharded parallel sweep "
+                             "(Aladdin only; 1 = serial, placements are "
+                             "bit-identical either way)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -283,21 +365,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ticks", type=int, default=50)
     p.add_argument("--order", default="trace",
                    choices=[o.value for o in ArrivalOrder])
-    p.add_argument("--no-cache", action="store_true",
-                   help="disable the cross-round feasibility cache "
-                        "(Aladdin only; cached-vs-cold ablation)")
-    p.add_argument("--no-batch", action="store_true",
-                   help="disable the batched block placement kernel "
-                        "(Aladdin only; batched-vs-loop ablation)")
-    p.add_argument("--no-rescue-kernel", action="store_true",
-                   help="plan rescues with the legacy per-machine loop "
-                        "instead of the vectorized rescue kernel "
-                        "(Aladdin only; decisions are bit-identical "
-                        "either way)")
-    p.add_argument("--workers", type=int, default=1,
-                   help="processes for the rack-sharded parallel sweep "
-                        "(Aladdin only; 1 = serial, placements are "
-                        "bit-identical either way)")
+    _add_variant_args(p)
     p.add_argument("--checkpoint", metavar="PATH",
                    help="write a crash-consistent snapshot to PATH "
                         "every --checkpoint-every ticks")
@@ -315,6 +383,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="SIGKILL the process after the first snapshot "
                         "at or past tick K (crash-resume testing)")
     p.set_defaults(fn=cmd_online)
+
+    p = sub.add_parser("serve",
+                       help="serve live placement requests over a socket")
+    _add_trace_args(p)
+    p.add_argument("--socket", required=True, metavar="PATH",
+                   help="unix socket path to serve on (keep it short: "
+                        "the OS caps socket paths at ~100 chars)")
+    p.add_argument("--scheduler", default="Aladdin")
+    p.add_argument("--ticks", type=int, default=50,
+                   help="arrival-phase length assumed by replaying "
+                        "clients (part of the run fingerprint)")
+    p.add_argument("--order", default="trace",
+                   choices=[o.value for o in ArrivalOrder])
+    p.add_argument("--pool-factor", type=float, default=1.2,
+                   help="machine pool headroom over the trace's nominal "
+                        "cluster (default 1.2)")
+    _add_variant_args(p)
+    p.add_argument("--max-queue", type=int, default=1024,
+                   help="admission bound: requests beyond this many "
+                        "queued are rejected 429-style (default 1024)")
+    p.add_argument("--window-max", type=int, default=256,
+                   help="most requests one scheduling window coalesces "
+                        "(default 256)")
+    p.add_argument("--retry-after", type=float, default=0.05,
+                   metavar="SECONDS",
+                   help="back-off hint carried by rejection replies")
+    p.add_argument("--checkpoint", metavar="PATH",
+                   help="write a crash-consistent snapshot to PATH "
+                        "every --checkpoint-every windows")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="checkpoint period in committed windows "
+                        "(0 = never; requires --checkpoint)")
+    p.add_argument("--restore", metavar="PATH",
+                   help="start warm from a serve snapshot written by a "
+                        "previous (possibly SIGKILLed) server")
+    p.add_argument("--crash-after-window", type=int, default=None,
+                   metavar="K",
+                   help="SIGKILL the server after the first checkpointed "
+                        "window at or past K, before its replies go out "
+                        "(crash-recovery testing)")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("experiments",
                        help="regenerate the full evaluation as markdown")

@@ -282,6 +282,9 @@ class ParallelSweep:
         cluster's rack count).
     sweeps:
         Lifetime number of parallel block plans served.
+    cold_restarts:
+        Times a dead shard worker forced :meth:`plan_block` through the
+        cold-restart path (fresh workers, full resync).
     """
 
     def __init__(self, workers: int) -> None:
@@ -289,6 +292,7 @@ class ParallelSweep:
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self.sweeps = 0
+        self.cold_restarts = 0
         self._procs: list[mp.process.BaseProcess] = []
         self._conns: list = []
         self._bounds: list[tuple[int, int]] = []
@@ -375,19 +379,38 @@ class ParallelSweep:
         affine_ids = (
             np.flatnonzero(affinity) if affinity is not None else None
         )
-        for conn, (lo, hi) in zip(self._conns, self._bounds):
-            if dirty is None:
-                d_local = None
-            else:
-                seg = dirty[(dirty >= lo) & (dirty < hi)]
-                d_local = seg - lo
-            f_local = _slice_ids(forbidden, lo, hi)
-            a_local = _slice_ids(affine_ids, lo, hi)
-            conn.send(
-                ("query", d_local, demand, int(k), within_scope,
-                 f_local, a_local)
-            )
-        replies = [conn.recv() for conn in self._conns]
+        for attempt in range(2):
+            try:
+                for conn, (lo, hi) in zip(self._conns, self._bounds):
+                    if dirty is None:
+                        d_local = None
+                    else:
+                        seg = dirty[(dirty >= lo) & (dirty < hi)]
+                        d_local = seg - lo
+                    f_local = _slice_ids(forbidden, lo, hi)
+                    a_local = _slice_ids(affine_ids, lo, hi)
+                    conn.send(
+                        ("query", d_local, demand, int(k), within_scope,
+                         f_local, a_local)
+                    )
+                replies = [conn.recv() for conn in self._conns]
+                break
+            except (EOFError, BrokenPipeError, OSError):
+                if attempt:
+                    raise
+                # A shard worker died mid-sweep.  Take the documented
+                # cold path: tear everything down (detach hands the
+                # state back a private `available` copy), re-attach
+                # (fresh workers, fresh shared memory, empty caches)
+                # and retry the exchange once.  Fresh workers recompute
+                # every verdict regardless of the dirty list, so the
+                # planned machines stay bit-identical — only the
+                # hit/miss cost counters differ from an uninterrupted
+                # run.
+                self.cold_restarts += 1
+                self.close()
+                self._attach(state)
+                dirty = None
         self._synced_version = state.version
         self.sweeps += 1
 

@@ -1,0 +1,60 @@
+"""Live placement serving — the asyncio front-end over the scheduler.
+
+The package turns the repository's batch/simulated scheduling substrate
+into a serving system: :mod:`repro.serve.protocol` defines the
+length-prefixed JSON wire format, :mod:`repro.serve.server` coalesces
+client requests into scheduling windows and applies them through the
+same :func:`repro.sim.online.apply_window` path the simulator uses (the
+source of the served ≡ simulated bit-identity guarantee),
+:mod:`repro.serve.client` is the blocking client plus the differential
+replay driver, and :mod:`repro.serve.loadgen` the closed-loop load
+generator behind ``BENCH_serve.json``.
+"""
+
+from repro.serve.client import ServeClient, ServeError, replay_online_schedule
+from repro.serve.loadgen import LoadResult, run_load, synthetic_batch
+from repro.serve.protocol import (
+    CONTROL_TYPES,
+    MAX_FRAME,
+    REQUEST_TYPES,
+    WINDOW_TYPES,
+    ProtocolError,
+    container_from_wire,
+    container_to_wire,
+    encode_frame,
+    read_frame,
+    recv_frame,
+    send_frame,
+    validate_request,
+)
+from repro.serve.server import (
+    SNAPSHOT_KIND,
+    PlacementServer,
+    ServeConfig,
+    ServerThread,
+)
+
+__all__ = [
+    "CONTROL_TYPES",
+    "MAX_FRAME",
+    "REQUEST_TYPES",
+    "SNAPSHOT_KIND",
+    "WINDOW_TYPES",
+    "LoadResult",
+    "PlacementServer",
+    "ProtocolError",
+    "ServeClient",
+    "ServeConfig",
+    "ServeError",
+    "ServerThread",
+    "container_from_wire",
+    "container_to_wire",
+    "encode_frame",
+    "read_frame",
+    "recv_frame",
+    "replay_online_schedule",
+    "run_load",
+    "send_frame",
+    "synthetic_batch",
+    "validate_request",
+]

@@ -1,0 +1,208 @@
+"""Closed-loop load generator for the placement service.
+
+``clients`` worker threads each hold one connection and run the
+classic closed loop: send a placement batch, wait for the decision,
+immediately send the next.  Offered load is therefore
+``clients / mean_latency`` — raising ``clients`` raises pressure until
+the admission queue saturates and the server starts answering with
+429-style rejections.
+
+Each worker recycles its containers: the batch it places in iteration
+*k* departs in iteration *k + 1* (as the ``departures`` field of the
+next ``place`` request), so the cluster reaches a steady churn state
+instead of monotonically filling — the regime the SLO numbers in
+``BENCH_serve.json`` are quoted for.
+
+Two invariant-relevant counting rules:
+
+* ``sent`` counts every window-type *frame* put on the wire, retries
+  included — the figure the backpressure property test compares against
+  the server's ``requests_admitted + requests_rejected``.
+* latency is measured per *admitted* decision only (send → decision
+  reply); rejected sends are counted, not timed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.cluster.container import Container
+from repro.serve.client import ServeClient
+
+
+@dataclass
+class LoadResult:
+    """Aggregate outcome of one load-generation run."""
+
+    #: window-type frames sent (retries of rejected requests included)
+    sent: int = 0
+    #: requests that received a decision reply
+    decided: int = 0
+    #: requests answered with a 429-style rejection
+    rejected: int = 0
+    #: connection-level failures (should be 0 in a healthy run)
+    errors: int = 0
+    #: wall time of the whole run
+    duration_s: float = 0.0
+    #: per-decision latency samples, seconds
+    latencies_s: list[float] = field(default_factory=list)
+    #: containers placed across all decided requests
+    containers_placed: int = 0
+
+    @property
+    def throughput_rps(self) -> float:
+        """Decided requests per second, sustained over the run."""
+        return self.decided / self.duration_s if self.duration_s else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """``q``-th latency percentile in seconds (nearest-rank)."""
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        rank = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+        return ordered[rank]
+
+    def summary(self) -> dict:
+        """JSON-ready digest (the ``BENCH_serve.json`` payload core)."""
+        return {
+            "sent": self.sent,
+            "decided": self.decided,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "duration_s": round(self.duration_s, 3),
+            "throughput_rps": round(self.throughput_rps, 1),
+            "containers_placed": self.containers_placed,
+            "latency_ms": {
+                "p50": round(self.latency_percentile(0.50) * 1e3, 3),
+                "p99": round(self.latency_percentile(0.99) * 1e3, 3),
+                "max": round(max(self.latencies_s, default=0.0) * 1e3, 3),
+            },
+        }
+
+
+def synthetic_batch(
+    worker: int, iteration: int, batch_size: int, *,
+    cpu: float = 4.0, mem_gb: float = 8.0,
+) -> list[Container]:
+    """A placement batch with globally unique ids per (worker, iteration).
+
+    Ids are partitioned per worker (stride 1 000 000) and offset by
+    10 000 000 so they can never collide with trace container ids.
+    """
+    base = 10_000_000 + worker * 1_000_000 + iteration * batch_size
+    app_id = 100_000 + worker * 10_000 + iteration
+    return [
+        Container(
+            container_id=base + i,
+            app_id=app_id,
+            instance=i,
+            cpu=cpu,
+            mem_gb=mem_gb,
+            priority=5,
+        )
+        for i in range(batch_size)
+    ]
+
+
+def run_load(
+    socket_path: str,
+    *,
+    clients: int = 4,
+    duration_s: float = 5.0,
+    batch_size: int = 8,
+    honor_retry: bool = True,
+    cpu: float = 4.0,
+    mem_gb: float = 8.0,
+    worker_offset: int = 0,
+) -> LoadResult:
+    """Drive a server with ``clients`` closed-loop workers.
+
+    With ``honor_retry`` rejections back off per the server's hint and
+    re-send (benchmark mode: every request eventually decided); without
+    it a rejection ends that iteration immediately (backpressure-test
+    mode: maximal sustained pressure, rejections left rejected).
+
+    ``worker_offset`` shifts the workers' synthetic-id partitions.  A
+    run always leaves each worker's final batch resident (nothing
+    departs it), so back-to-back runs against one server — a warmup
+    before a measured interval, say — must use disjoint offsets or the
+    later run eventually re-places a still-assigned container id.
+    """
+    results = [LoadResult() for _ in range(clients)]
+    errors: list[BaseException] = []
+    start_gate = threading.Event()
+
+    def worker(w: int) -> None:
+        out = results[w]
+        try:
+            with ServeClient(socket_path) as client:
+                start_gate.wait()
+                t_end = time.monotonic() + duration_s
+                iteration = 0
+                previous: list[int] = []
+                while time.monotonic() < t_end:
+                    batch = synthetic_batch(
+                        worker_offset + w, iteration, batch_size,
+                        cpu=cpu, mem_gb=mem_gb,
+                    )
+                    req = {"batch": batch, "departures": previous}
+                    t0 = time.monotonic()
+                    reply = client.place(
+                        req["batch"],
+                        departures=req["departures"],
+                        honor_retry=False,
+                    )
+                    out.sent += 1
+                    while reply.get("status") == "rejected":
+                        out.rejected += 1
+                        if not honor_retry:
+                            break
+                        time.sleep(reply.get("retry_after", 0.05))
+                        t0 = time.monotonic()
+                        reply = client.place(
+                            req["batch"],
+                            departures=req["departures"],
+                            honor_retry=False,
+                        )
+                        out.sent += 1
+                    if reply.get("status") == "ok":
+                        out.decided += 1
+                        out.latencies_s.append(time.monotonic() - t0)
+                        placed = list(reply.get("placements", {}))
+                        out.containers_placed += len(placed)
+                        previous = [int(cid) for cid in placed]
+                        iteration += 1
+                    else:
+                        # rejected and not retrying: drop this batch and
+                        # move on with fresh ids next iteration
+                        previous = []
+                        iteration += 1
+        except BaseException as exc:  # noqa: BLE001 - tallied, re-raised by caller check
+            out.errors += 1
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(w,), daemon=True)
+        for w in range(clients)
+    ]
+    for t in threads:
+        t.start()
+    t_start = time.monotonic()
+    start_gate.set()
+    for t in threads:
+        t.join()
+    wall = time.monotonic() - t_start
+
+    total = LoadResult(duration_s=wall)
+    for out in results:
+        total.sent += out.sent
+        total.decided += out.decided
+        total.rejected += out.rejected
+        total.errors += out.errors
+        total.latencies_s.extend(out.latencies_s)
+        total.containers_placed += out.containers_placed
+    if errors and total.decided == 0:
+        raise errors[0]
+    return total

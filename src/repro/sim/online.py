@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.base import Scheduler
+from repro.base import ScheduleResult, Scheduler
 from repro.cluster.snapshot import SnapshotError, read_snapshot, write_snapshot
 from repro.cluster.state import ClusterState
 from repro.cluster.topology import build_cluster
@@ -181,14 +181,147 @@ class OnlineResult:
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
+# ----------------------------------------------------------------------
+# shared window-application logic
+#
+# One scheduling window — departures out, a batch of arrivals through
+# the scheduler, a metrics sample — is the unit both front-ends apply:
+# the simulated tick loop below and the live serving loop of
+# :mod:`repro.serve`.  Keeping the application logic in one place is
+# what makes the serving-mode differential test meaningful: a served
+# window and a simulated tick *are* the same code path, so bit-identical
+# decisions follow from bit-identical inputs.
+# ----------------------------------------------------------------------
+def pool_topology(trace: Trace, config: OnlineConfig):
+    """The machine pool an online run of ``trace`` schedules into."""
+    n = max(1, round(trace.config.n_machines * config.machine_pool_factor))
+    return build_cluster(n)
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """The deterministic arrival/departure plan of one online run.
+
+    Derived from the config seed alone (arrival ticks uniformly spread,
+    lifetimes log-uniform), so a restored run — or a replay client
+    driving :mod:`repro.serve` — recomputes the exact schedule instead
+    of persisting it.
+    """
+
+    apps: list
+    #: arrival tick per application, sorted ascending (parallel to apps)
+    arrival_tick: np.ndarray
+    #: app_id -> lifetime in ticks
+    life_of: dict[int, int]
+    #: app_id -> that application's containers
+    by_app: dict[int, list]
+    #: last tick any departure can land on + 1
+    horizon: int
+
+
+def arrival_schedule(trace: Trace, config: OnlineConfig) -> ArrivalSchedule:
+    """Recompute the seeded arrival/lifetime plan for ``trace``."""
+    rng = np.random.default_rng(config.seed)
+    apps = order_applications(trace, config.arrival_order)
+    arrival_tick = np.sort(rng.integers(0, config.ticks, len(apps)))
+    lo, hi = config.lifetime_ticks
+    lifetimes = np.exp(
+        rng.uniform(np.log(lo), np.log(hi + 1), len(apps))
+    ).astype(np.int64)
+    life_of = {app.app_id: int(lifetimes[i]) for i, app in enumerate(apps)}
+    by_app: dict[int, list] = {}
+    for c in trace.containers:
+        by_app.setdefault(c.app_id, []).append(c)
+    horizon = config.ticks + int(lifetimes.max()) + 1
+    return ArrivalSchedule(apps, arrival_tick, life_of, by_app, horizon)
+
+
+def apply_window(
+    scheduler: Scheduler,
+    state: ClusterState,
+    *,
+    tick: int,
+    departures=(),
+    batch=(),
+) -> tuple[TickSample, ScheduleResult | None]:
+    """Apply one scheduling window to ``state`` and sample the cluster.
+
+    Evicts ``departures`` (container ids; absent ids are skipped — the
+    container may have been displaced by a fault already), schedules
+    ``batch`` as one submission (idle windows skip the scheduler
+    entirely), and returns the sampled :class:`TickSample` plus the
+    round's :class:`~repro.base.ScheduleResult` (``None`` on idle
+    windows).
+    """
+    departed = 0
+    for cid in departures:
+        if cid in state.assignment:
+            state.evict(cid)
+            departed += 1
+
+    migrations = failed = explored = 0
+    cache_hits = batch_invocations = 0
+    rescue_attempts = rescue_kernel_invocations = 0
+    schedule: ScheduleResult | None = None
+    batch = list(batch)
+    if batch:
+        schedule = scheduler.schedule(batch, state)
+        migrations = schedule.migrations
+        failed = schedule.n_undeployed
+        explored = schedule.explored
+        if schedule.telemetry is not None:
+            cache_hits = schedule.telemetry.cache_hits
+            batch_invocations = schedule.telemetry.batch_kernel_invocations
+            rescue_attempts = schedule.telemetry.rescue_attempts
+            rescue_kernel_invocations = (
+                schedule.telemetry.rescue_kernel_invocations
+            )
+
+    used = state.used_machines()
+    util = state.used_utilization(0)
+    sample = TickSample(
+        tick=tick,
+        arrived_containers=len(batch),
+        departed_containers=departed,
+        running_containers=len(state.assignment),
+        pending_failures=failed,
+        used_machines=used,
+        mean_utilization=float(util.mean()) if used else 0.0,
+        migrations=migrations,
+        violations=state.anti_affinity_violations(),
+        explored=explored,
+        cache_hits=cache_hits,
+        batch_invocations=batch_invocations,
+        rescue_attempts=rescue_attempts,
+        rescue_kernel_invocations=rescue_kernel_invocations,
+    )
+    return sample, schedule
+
+
+def record_window(
+    result: OnlineResult,
+    sample: TickSample,
+    schedule: ScheduleResult | None,
+) -> None:
+    """Fold one applied window into ``result``'s series and totals."""
+    result.samples.append(sample)
+    result.total_departed += sample.departed_containers
+    if schedule is not None:
+        result.total_arrived += sample.arrived_containers
+        result.total_failed += schedule.n_undeployed
+        result.total_migrations += schedule.migrations
+        result.total_elapsed_s += schedule.elapsed_s
+        if schedule.telemetry is not None:
+            result.telemetry.merge(schedule.telemetry)
+
+
 class OnlineSimulator:
     """Drives a scheduler through an arriving-and-departing workload."""
 
     def __init__(self, trace: Trace, config: OnlineConfig | None = None) -> None:
         self.trace = trace
         self.config = config if config is not None else OnlineConfig()
-        n = max(1, round(trace.config.n_machines * self.config.machine_pool_factor))
-        self._topology = build_cluster(n)
+        self._topology = pool_topology(trace, self.config)
 
     def run(
         self,
@@ -279,25 +412,12 @@ class OnlineSimulator:
         on_checkpoint=None,
     ) -> OnlineResult:
         cfg = self.config
-        rng = np.random.default_rng(cfg.seed)
-        apps = order_applications(self.trace, cfg.arrival_order)
-
-        # Arrival tick per application, uniformly spread; lifetime
-        # log-uniform over the configured range.  Derived from the
-        # config seed alone, so a restored run recomputes the exact
-        # schedule instead of persisting it.
-        arrival_tick = np.sort(rng.integers(0, cfg.ticks, len(apps)))
-        lo, hi = cfg.lifetime_ticks
-        lifetimes = np.exp(
-            rng.uniform(np.log(lo), np.log(hi + 1), len(apps))
-        ).astype(np.int64)
-
-        life_of = {app.app_id: int(lifetimes[i]) for i, app in enumerate(apps)}
-        by_app = {}
-        for c in self.trace.containers:
-            by_app.setdefault(c.app_id, []).append(c)
-
-        horizon = cfg.ticks + int(lifetimes.max()) + 1
+        sched = arrival_schedule(self.trace, cfg)
+        apps = sched.apps
+        arrival_tick = sched.arrival_tick
+        life_of = sched.life_of
+        by_app = sched.by_app
+        horizon = sched.horizon
 
         if restore_from is not None:
             payload = read_snapshot(restore_from, kind="online-sim")
@@ -328,18 +448,12 @@ class OnlineSimulator:
             idx = 0
             start_tick = 0
 
-        out: list[TickSample] = result.samples
         if idx >= len(apps) and not departures:
             # The snapshot was taken on the run's final tick; the
             # uninterrupted run broke out right after sampling it.
             return result
         for tick in range(start_tick, horizon):
-            departed = 0
-            for cid in departures.pop(tick, ()):  # 1. departures
-                if cid in state.assignment:
-                    state.evict(cid)
-                    departed += 1
-            result.total_departed += departed
+            deps = departures.pop(tick, ())  # 1. departures
 
             batch = []
             while idx < len(apps) and arrival_tick[idx] <= tick:
@@ -347,55 +461,17 @@ class OnlineSimulator:
                 batch.extend(by_app[app.app_id])
                 idx += 1
 
-            migrations = 0
-            failed = 0
-            explored = 0
-            cache_hits = 0
-            batch_invocations = 0
-            rescue_attempts = 0
-            rescue_kernel_invocations = 0
-            if batch:  # 2. arrivals
-                schedule = scheduler.schedule(batch, state)
-                migrations = schedule.migrations
-                failed = schedule.n_undeployed
-                explored = schedule.explored
-                result.total_arrived += len(batch)
-                result.total_failed += failed
-                result.total_migrations += migrations
-                result.total_elapsed_s += schedule.elapsed_s
-                if schedule.telemetry is not None:
-                    cache_hits = schedule.telemetry.cache_hits
-                    batch_invocations = schedule.telemetry.batch_kernel_invocations
-                    rescue_attempts = schedule.telemetry.rescue_attempts
-                    rescue_kernel_invocations = (
-                        schedule.telemetry.rescue_kernel_invocations
-                    )
-                    result.telemetry.merge(schedule.telemetry)
+            # 2.–3. arrivals + sampling, via the window logic shared
+            # with the serving loop.
+            sample, schedule = apply_window(
+                scheduler, state, tick=tick, departures=deps, batch=batch
+            )
+            record_window(result, sample, schedule)
+            if schedule is not None:
                 for c in batch:
                     if c.container_id in schedule.placements:
                         end = tick + life_of[c.app_id]
                         departures.setdefault(end, []).append(c.container_id)
-
-            used = state.used_machines()  # 3. sampling
-            util = state.used_utilization(0)
-            out.append(
-                TickSample(
-                    tick=tick,
-                    arrived_containers=len(batch),
-                    departed_containers=departed,
-                    running_containers=len(state.assignment),
-                    pending_failures=failed,
-                    used_machines=used,
-                    mean_utilization=float(util.mean()) if used else 0.0,
-                    migrations=migrations,
-                    violations=state.anti_affinity_violations(),
-                    explored=explored,
-                    cache_hits=cache_hits,
-                    batch_invocations=batch_invocations,
-                    rescue_attempts=rescue_attempts,
-                    rescue_kernel_invocations=rescue_kernel_invocations,
-                )
-            )
             if (  # 4. checkpoint
                 checkpoint_every
                 and checkpoint_path

@@ -206,6 +206,82 @@ class SchedulerTelemetry:
 
 
 # ----------------------------------------------------------------------
+# serving-side telemetry
+# ----------------------------------------------------------------------
+@dataclass
+class ServiceTelemetry:
+    """Counters of the serving front-end (:mod:`repro.serve`).
+
+    These live *next to* :class:`SchedulerTelemetry`, never inside it:
+    admission, rejection and queue-depth figures depend on client
+    timing and socket scheduling, so they are legitimately
+    nondeterministic and must not leak into the deterministic counter
+    set that :meth:`SchedulerTelemetry.counters` feeds into
+    ``canonical_json``.  The backpressure property test relies on one
+    exact invariant here: every window-type request a client sends is
+    either admitted (and eventually decided) or rejected —
+    ``requests_admitted + requests_rejected`` equals requests sent,
+    none dropped.
+    """
+
+    #: window-type requests accepted into the bounded queue
+    requests_admitted: int = 0
+    #: window-type requests refused with a 429-style reply at admission
+    requests_rejected: int = 0
+    #: replies that could not be delivered (client disconnected); the
+    #: window itself still committed
+    replies_failed: int = 0
+    #: scheduling windows committed by the coalescer
+    windows_committed: int = 0
+    #: requests coalesced across all committed windows
+    window_requests: int = 0
+    #: largest single window (requests coalesced into one round)
+    peak_window_size: int = 0
+    #: deepest the admission queue ever got
+    peak_queue_depth: int = 0
+
+    def record_admission(self, queue_depth: int) -> None:
+        self.requests_admitted += 1
+        self.peak_queue_depth = max(self.peak_queue_depth, queue_depth)
+
+    def record_rejection(self) -> None:
+        self.requests_rejected += 1
+
+    def record_window(self, size: int) -> None:
+        self.windows_committed += 1
+        self.window_requests += size
+        self.peak_window_size = max(self.peak_window_size, size)
+
+    @property
+    def mean_window_size(self) -> float:
+        if not self.windows_committed:
+            return 0.0
+        return self.window_requests / self.windows_committed
+
+    def counters(self) -> dict[str, int]:
+        """Stable-ordered dict for the ``stats`` protocol reply."""
+        return {
+            "requests_admitted": self.requests_admitted,
+            "requests_rejected": self.requests_rejected,
+            "replies_failed": self.replies_failed,
+            "windows_committed": self.windows_committed,
+            "window_requests": self.window_requests,
+            "peak_window_size": self.peak_window_size,
+            "peak_queue_depth": self.peak_queue_depth,
+        }
+
+    def summary(self) -> str:
+        """One-line human rendering for the serve CLI shutdown report."""
+        return (
+            f"admitted {self.requests_admitted}, rejected "
+            f"{self.requests_rejected}, windows {self.windows_committed} "
+            f"(mean {self.mean_window_size:.1f} req/window, peak "
+            f"{self.peak_window_size}), peak queue {self.peak_queue_depth}, "
+            f"undeliverable replies {self.replies_failed}"
+        )
+
+
+# ----------------------------------------------------------------------
 # the current collector
 # ----------------------------------------------------------------------
 _current: SchedulerTelemetry | None = None

@@ -241,3 +241,90 @@ class TestStaleWatermarkFallback:
         assert got.tolist() == state.feasible_mask(demand, app_id=3).tolist()
         # only the one dirtied machine was recomputed — warm, not cold
         assert restored.misses - before == 1
+
+
+class TestEnvelopeFuzz:
+    """Seeded mutation fuzz over the snapshot envelope.
+
+    Every corruption of a valid snapshot file — random byte flips,
+    truncations, appended garbage — must surface as a loud
+    :class:`SnapshotError`, never load silently wrong.  The three
+    mutation classes cover the whole envelope surface: a flipped byte
+    lands in the magic, version, digest, length or payload (each
+    individually validated); a truncation breaks the header or the
+    declared length; an append breaks the exact-length check.
+    """
+
+    PAYLOAD = {
+        "numbers": list(range(128)),
+        "array": np.arange(64, dtype=np.float64),
+        "nested": {"a": {"b": [1.5, 2.5]}, "ids": {7: 3, 9: 1}},
+    }
+
+    @pytest.fixture()
+    def snapshot_bytes(self, tmp_path):
+        path = str(tmp_path / "valid.bin")
+        write_snapshot(path, self.PAYLOAD, kind="fuzz")
+        with open(path, "rb") as fh:
+            return fh.read()
+
+    @staticmethod
+    def _must_reject(tmp_path, data):
+        path = str(tmp_path / "mutated.bin")
+        with open(path, "wb") as fh:
+            fh.write(data)
+        with pytest.raises(SnapshotError):
+            read_snapshot(path, kind="fuzz")
+        # and the rejection must not depend on the expected kind
+        with pytest.raises(SnapshotError):
+            read_snapshot(path, kind="anything-else")
+
+    def test_valid_snapshot_loads(self, snapshot_bytes, tmp_path):
+        path = str(tmp_path / "copy.bin")
+        with open(path, "wb") as fh:
+            fh.write(snapshot_bytes)
+        got = read_snapshot(path, kind="fuzz")
+        assert got["numbers"] == self.PAYLOAD["numbers"]
+        assert np.array_equal(got["array"], self.PAYLOAD["array"])
+
+    def test_byte_flips_always_rejected(self, snapshot_bytes, tmp_path):
+        """~100 random single-byte flips (XOR with a nonzero mask, so
+        the file is guaranteed different) across the whole file."""
+        rng = np.random.default_rng(0xA17ADD1)
+        for i in range(100):
+            pos = int(rng.integers(0, len(snapshot_bytes)))
+            mask = int(rng.integers(1, 256))
+            mutated = bytearray(snapshot_bytes)
+            mutated[pos] ^= mask
+            self._must_reject(tmp_path, bytes(mutated))
+
+    def test_truncations_always_rejected(self, snapshot_bytes, tmp_path):
+        """~50 random strict truncations, plus the empty file and the
+        bare header."""
+        rng = np.random.default_rng(0xA17ADD2)
+        cuts = {0, _HEADER.size, len(snapshot_bytes) - 1}
+        cuts.update(
+            int(rng.integers(0, len(snapshot_bytes))) for _ in range(50)
+        )
+        for cut in sorted(cuts):
+            self._must_reject(tmp_path, snapshot_bytes[:cut])
+
+    def test_appends_always_rejected(self, snapshot_bytes, tmp_path):
+        """~50 random non-empty suffixes appended to a valid file."""
+        rng = np.random.default_rng(0xA17ADD3)
+        for i in range(50):
+            n = int(rng.integers(1, 64))
+            junk = rng.integers(0, 256, n, dtype=np.uint8).tobytes()
+            self._must_reject(tmp_path, snapshot_bytes + junk)
+
+    def test_combined_mutations_rejected(self, snapshot_bytes, tmp_path):
+        """Flip + truncate + append stacked (seeded, 20 rounds) — the
+        compound corruptions a real torn disk produces."""
+        rng = np.random.default_rng(0xA17ADD4)
+        for i in range(20):
+            data = bytearray(snapshot_bytes)
+            pos = int(rng.integers(0, len(data)))
+            data[pos] ^= int(rng.integers(1, 256))
+            data = data[: int(rng.integers(1, len(data)))]
+            data += rng.integers(0, 256, 8, dtype=np.uint8).tobytes()
+            self._must_reject(tmp_path, bytes(data))

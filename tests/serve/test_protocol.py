@@ -1,0 +1,182 @@
+"""Wire-protocol unit tests: framing, marshalling, request validation.
+
+The framing layer's contract is binary-simple — every byte sequence is
+either one well-formed frame or a :class:`ProtocolError` — and the
+serving fault-tolerance story leans on it: a client that dies mid-frame
+must surface as a clean protocol error, never as a half-parsed request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+
+import pytest
+
+from repro.cluster.container import Container
+from repro.serve.protocol import (
+    CONTROL_TYPES,
+    MAX_FRAME,
+    WINDOW_TYPES,
+    ProtocolError,
+    container_from_wire,
+    container_to_wire,
+    encode_frame,
+    read_frame,
+    recv_frame,
+    send_frame,
+    validate_request,
+)
+
+
+def read_bytes(data: bytes):
+    """Feed ``data`` into an asyncio StreamReader and read one frame."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_frame(reader)
+
+    return asyncio.run(go())
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        obj = {"type": "ping", "nested": {"a": [1, 2, 3]}}
+        assert read_bytes(encode_frame(obj)) == obj
+
+    def test_clean_eof_is_none(self):
+        assert read_bytes(b"") is None
+
+    def test_eof_inside_header(self):
+        with pytest.raises(ProtocolError, match="header"):
+            read_bytes(b"\x00\x00")
+
+    def test_eof_inside_payload(self):
+        frame = encode_frame({"type": "ping"})
+        with pytest.raises(ProtocolError, match="bytes into a frame"):
+            read_bytes(frame[:-1])
+
+    def test_declared_length_over_cap(self):
+        header = struct.pack(">I", MAX_FRAME + 1)
+        with pytest.raises(ProtocolError, match="MAX_FRAME"):
+            read_bytes(header)
+
+    def test_encode_rejects_oversize_object(self):
+        with pytest.raises(ProtocolError, match="MAX_FRAME"):
+            encode_frame({"blob": "x" * (MAX_FRAME + 16)})
+
+    def test_payload_must_be_json(self):
+        bad = b"\x00\x00\x00\x03}{!"
+        with pytest.raises(ProtocolError, match="JSON"):
+            read_bytes(bad)
+
+    def test_payload_must_be_object(self):
+        with pytest.raises(ProtocolError, match="object"):
+            read_bytes(encode_frame([1, 2, 3]))
+
+    def test_blocking_roundtrip_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            send_frame(a, {"type": "stats"})
+            assert recv_frame(b) == {"type": "stats"}
+            a.close()
+            assert recv_frame(b) is None  # clean EOF
+        finally:
+            b.close()
+
+    def test_blocking_eof_mid_frame(self):
+        a, b = socket.socketpair()
+        try:
+            frame = encode_frame({"type": "ping"})
+            a.sendall(frame[:-2])
+            a.close()
+            with pytest.raises(ProtocolError, match="bytes into a frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+
+class TestContainerWire:
+    def test_roundtrip(self):
+        c = Container(container_id=7, app_id=3, instance=1,
+                      cpu=2.5, mem_gb=8.0, priority=2)
+        assert container_from_wire(container_to_wire(c)) == c
+
+    def test_missing_field(self):
+        wire = container_to_wire(
+            Container(container_id=1, app_id=1, instance=0,
+                      cpu=1.0, mem_gb=1.0, priority=0)
+        )
+        del wire["cpu"]
+        with pytest.raises(ProtocolError, match="missing fields"):
+            container_from_wire(wire)
+
+    def test_non_object(self):
+        with pytest.raises(ProtocolError, match="object"):
+            container_from_wire([1, 2, 3])
+
+    def test_bad_field_type(self):
+        wire = container_to_wire(
+            Container(container_id=1, app_id=1, instance=0,
+                      cpu=1.0, mem_gb=1.0, priority=0)
+        )
+        wire["cpu"] = "lots"
+        with pytest.raises(ProtocolError, match="bad container field"):
+            container_from_wire(wire)
+
+
+class TestValidateRequest:
+    def test_type_tables_are_disjoint_and_complete(self):
+        assert not (WINDOW_TYPES & CONTROL_TYPES)
+        for rtype in ("place", "depart", "fault", "repair", "step"):
+            assert rtype in WINDOW_TYPES
+        for rtype in ("ping", "stats", "result", "decisions", "shutdown"):
+            assert rtype in CONTROL_TYPES
+
+    def test_unknown_type(self):
+        with pytest.raises(ProtocolError, match="unknown request type"):
+            validate_request({"type": "teleport"})
+
+    def test_missing_type(self):
+        with pytest.raises(ProtocolError, match="unknown request type"):
+            validate_request({})
+
+    def test_place_parses_containers(self):
+        c = Container(container_id=5, app_id=2, instance=0,
+                      cpu=1.0, mem_gb=2.0, priority=1)
+        req = validate_request(
+            {"type": "place", "containers": [container_to_wire(c)]}
+        )
+        assert req["_containers"] == [c]
+
+    def test_place_rejects_non_list_containers(self):
+        with pytest.raises(ProtocolError, match="must be a list"):
+            validate_request({"type": "place", "containers": 3})
+
+    def test_place_rejects_bad_departures(self):
+        with pytest.raises(ProtocolError, match="departures"):
+            validate_request(
+                {"type": "place", "containers": [], "departures": ["x"]}
+            )
+
+    def test_depart_rejects_bools(self):
+        # bool is an int subclass; the wire check must not admit it
+        with pytest.raises(ProtocolError, match="list of integers"):
+            validate_request({"type": "depart", "containers": [1, True]})
+
+    @pytest.mark.parametrize("rtype", ["fault", "repair"])
+    def test_fault_repair_require_machines(self, rtype):
+        with pytest.raises(ProtocolError, match="non-empty"):
+            validate_request({"type": rtype, "machines": []})
+        with pytest.raises(ProtocolError, match="list of integers"):
+            validate_request({"type": rtype, "machines": None})
+
+    def test_decisions_requires_int_tick(self):
+        with pytest.raises(ProtocolError, match="integer"):
+            validate_request({"type": "decisions", "tick": "zero"})
+        with pytest.raises(ProtocolError, match="integer"):
+            validate_request({"type": "decisions", "tick": True})
+        assert validate_request({"type": "decisions", "tick": 4})

@@ -1,0 +1,297 @@
+"""Serving-loop behaviour: windows, control plane, checkpoint/restore.
+
+These tests run the real asyncio server on a background thread
+(:class:`~repro.serve.ServerThread`) and talk to it over a real unix
+socket — the same stack the CLI's ``repro serve`` runs, minus the
+subprocess boundary (the fault tests cover that).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+
+import pytest
+
+from repro.cluster.snapshot import SnapshotError
+from repro.core import AladdinScheduler
+from repro.serve import (
+    PlacementServer,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+    ServerThread,
+    send_frame,
+)
+
+
+class TestWindows:
+    def test_place_reports_own_containers_only(self, served, serve_trace):
+        _server, client = served
+        mine = serve_trace.containers[:6]
+        reply = client.place(mine)
+        assert reply["status"] == "ok" and reply["tick"] == 0
+        decided = set(reply["placements"]) | set(reply["undeployed"])
+        assert decided == {str(c.container_id) for c in mine}
+
+    def test_ticks_count_windows(self, served, serve_trace):
+        _server, client = served
+        t0 = client.place(serve_trace.containers[:2])["tick"]
+        t1 = client.place(serve_trace.containers[2:4])["tick"]
+        t2 = client.step()["tick"]
+        assert (t0, t1, t2) == (0, 1, 2)
+
+    def test_depart_evicts(self, served, serve_trace):
+        server, client = served
+        batch = serve_trace.containers[:4]
+        placed = client.place(batch)["placements"]
+        victims = [int(cid) for cid in placed][:2]
+        reply = client.depart(victims)
+        assert reply["departed"] == len(victims)
+        for cid in victims:
+            assert cid not in server.state.assignment
+
+    def test_depart_of_absent_id_is_counted_not_fatal(self, served):
+        _server, client = served
+        reply = client.depart([999_999])
+        # the id was never assigned, so after the window it is (still)
+        # gone — the reply reports it departed rather than erroring
+        assert reply["status"] == "ok" and reply["departed"] == 1
+
+    def test_fault_displaces_and_replaces(self, served, serve_trace):
+        server, client = served
+        batch = serve_trace.containers[:8]
+        placed = client.place(batch)["placements"]
+        victim_machine = int(next(iter(placed.values())))
+        expected = [
+            int(cid) for cid, m in placed.items() if int(m) == victim_machine
+        ]
+        reply = client.fault([victim_machine])
+        assert sorted(reply["displaced"]) == sorted(expected)
+        # every displaced container got a same-window verdict
+        decided = set(reply["placements"]) | set(reply["undeployed"])
+        assert decided == {str(cid) for cid in expected}
+        for cid, m in reply["placements"].items():
+            assert int(m) != victim_machine
+            assert server.state.assignment[int(cid)] == int(m)
+
+    def test_repair_restores_capacity(self, served, serve_trace):
+        import numpy as np
+
+        server, client = served
+        placed = client.place(serve_trace.containers[:4])["placements"]
+        machine = int(next(iter(placed.values())))
+        client.fault([machine])
+        assert not server.state.available[machine].any()
+        reply = client.repair([machine])
+        assert reply["repaired"] == [machine]
+        assert np.array_equal(
+            server.state.available[machine],
+            server.state.topology.capacity[machine],
+        )
+
+    def test_fault_displaced_departing_same_window_not_requeued(
+        self, make_server, serve_trace
+    ):
+        """A displaced container the same window departs is dropped from
+        the fault's requeue (window order: repairs → faults →
+        departures → placements) — a departure racing the failure must
+        not resurrect its container.  Applied directly through the
+        window path so both requests land in one window
+        deterministically."""
+        from repro.serve.protocol import validate_request
+
+        server = make_server(ServeConfig(window_max=8))
+        batch = serve_trace.containers[:6]
+        place = validate_request({
+            "type": "place",
+            "containers": [],
+            "departures": [],
+        })
+        place["_containers"] = batch
+        [(_, first)] = server._apply_window([(place, None)])
+        placed = first["placements"]
+        machine = int(next(iter(placed.values())))
+        leaver = min(
+            int(cid) for cid, m in placed.items() if int(m) == machine
+        )
+        window = [
+            ({"type": "fault", "machines": [machine]}, None),
+            ({"type": "depart", "containers": [leaver]}, None),
+        ]
+        replies = dict(
+            (req["type"], reply)
+            for (req, _), (_, reply) in zip(window, server._apply_window(window))
+        )
+        assert leaver in replies["fault"]["displaced"]
+        # ...but it departed in the same window: no verdict, not running
+        assert str(leaver) not in replies["fault"]["placements"]
+        assert str(leaver) not in replies["fault"]["undeployed"]
+        assert leaver not in server.state.assignment
+
+    def test_step_reports_running(self, served, serve_trace):
+        _server, client = served
+        client.place(serve_trace.containers[:5])
+        reply = client.step()
+        assert reply["running"] == 5
+
+
+class TestControlPlane:
+    def test_ping(self, served):
+        _server, client = served
+        assert client.ping() is True
+
+    def test_stats_counters(self, served, serve_trace):
+        server, client = served
+        client.place(serve_trace.containers[:3])
+        client.step()
+        stats = client.stats()
+        assert stats["windows"] == 2
+        assert stats["service"]["requests_admitted"] == 2
+        assert stats["service"]["requests_rejected"] == 0
+        assert stats["service"]["windows_committed"] == 2
+        assert stats["totals"]["arrived"] == 3
+        assert stats["scheduler"] == server.result.telemetry.counters()
+
+    def test_result_matches_server_side(self, served, serve_trace):
+        server, client = served
+        client.place(serve_trace.containers[:3])
+        assert client.result() == server.result.canonical_json()
+
+    def test_decisions_log_and_eviction(self, make_server, sock_path,
+                                        serve_trace):
+        server = make_server(ServeConfig(decision_log=2))
+        with ServerThread(server, sock_path):
+            with ServeClient(sock_path) as client:
+                for i in range(3):
+                    client.place(serve_trace.containers[i * 2:(i + 1) * 2])
+                # log keeps the newest 2 windows; window 0 is evicted
+                assert client.decisions(2)["tick"] == 2
+                assert client.decisions(1)["tick"] == 1
+                with pytest.raises(ServeError, match="not in the decision log"):
+                    client.decisions(0)
+
+    def test_decisions_match_place_reply(self, served, serve_trace):
+        _server, client = served
+        batch = serve_trace.containers[:5]
+        reply = client.place(batch)
+        logged = client.decisions(0)
+        assert logged["placements"] == reply["placements"]
+        assert logged["undeployed"] == reply["undeployed"]
+
+    def test_invalid_request_raises_serve_error(self, served):
+        _server, client = served
+        with pytest.raises(ServeError, match="unknown request type"):
+            client._checked({"type": "teleport"})
+        assert client.ping()
+
+    def test_broken_framing_hangs_up_but_server_survives(
+        self, served, sock_path
+    ):
+        _server, client = served
+        raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        raw.connect(sock_path)
+        raw.sendall(b"\xff\xff\xff\xff")  # declares a 4 GiB frame
+        # server answers one error frame, then closes this connection
+        from repro.serve.protocol import recv_frame
+
+        reply = recv_frame(raw)
+        assert reply["status"] == "error"
+        assert recv_frame(raw) is None
+        raw.close()
+        # ...without taking the serving loop down
+        assert client.ping()
+
+    def test_shutdown_stops_server(self, make_server, sock_path):
+        server = make_server()
+        thread = ServerThread(server, sock_path).start()
+        with ServeClient(sock_path) as client:
+            assert client.shutdown()["stopping"] is True
+        thread._thread.join(timeout=30)
+        assert not thread._thread.is_alive()
+
+
+class TestCheckpointRestore:
+    def test_roundtrip_preserves_run(self, make_server, sock_dir, sock_path,
+                                     serve_trace, serve_topology):
+        ckpt = os.path.join(sock_dir, "serve.ckpt")
+        server = make_server(
+            ServeConfig(checkpoint_every=1, checkpoint_path=ckpt)
+        )
+        with ServerThread(server, sock_path):
+            with ServeClient(sock_path) as client:
+                client.place(serve_trace.containers[:5])
+                client.place(serve_trace.containers[5:8])
+                live = client.result()
+        restored = PlacementServer.restore(
+            ckpt, AladdinScheduler(), serve_topology, serve_trace.constraints
+        )
+        assert restored.windows == 2
+        assert restored.result.canonical_json() == live
+        assert restored.state.assignment == server.state.assignment
+        assert sorted(restored.decisions) == [0, 1]
+
+    def test_restored_server_keeps_serving(self, make_server, sock_dir,
+                                           serve_trace, serve_topology):
+        ckpt = os.path.join(sock_dir, "serve.ckpt")
+        server = make_server(
+            ServeConfig(checkpoint_every=1, checkpoint_path=ckpt)
+        )
+        with ServerThread(server, os.path.join(sock_dir, "a.sock")):
+            with ServeClient(os.path.join(sock_dir, "a.sock")) as client:
+                client.place(serve_trace.containers[:5])
+        restored = PlacementServer.restore(
+            ckpt, AladdinScheduler(), serve_topology, serve_trace.constraints
+        )
+        with ServerThread(restored, os.path.join(sock_dir, "b.sock")):
+            with ServeClient(os.path.join(sock_dir, "b.sock")) as client:
+                reply = client.place(serve_trace.containers[5:8])
+                assert reply["tick"] == 1  # continues the window count
+                assert reply["placements"]
+
+    def test_fingerprint_mismatch_rejected(self, make_server, sock_dir,
+                                           sock_path, serve_trace,
+                                           serve_topology):
+        from repro.core import FlowPathSearch
+
+        ckpt = os.path.join(sock_dir, "serve.ckpt")
+        server = make_server(
+            ServeConfig(checkpoint_every=1, checkpoint_path=ckpt)
+        )
+        with ServerThread(server, sock_path):
+            with ServeClient(sock_path) as client:
+                client.place(serve_trace.containers[:3])
+        with pytest.raises(SnapshotError, match="fingerprint"):
+            PlacementServer.restore(
+                ckpt, FlowPathSearch(), serve_topology, serve_trace.constraints
+            )
+
+    def test_wrong_kind_rejected(self, sock_dir, serve_trace, serve_topology):
+        from repro.cluster.snapshot import write_snapshot
+
+        path = os.path.join(sock_dir, "other.ckpt")
+        write_snapshot(path, {"anything": 1}, kind="online-sim")
+        with pytest.raises(SnapshotError, match="expected 'serve'"):
+            PlacementServer.restore(
+                path, AladdinScheduler(), serve_topology,
+                serve_trace.constraints,
+            )
+
+
+class TestServeConfig:
+    @pytest.mark.parametrize(
+        "kwargs", [{"max_queue": 0}, {"window_max": 0}, {"decision_log": 0}]
+    )
+    def test_bounds_validated(self, kwargs):
+        with pytest.raises(ValueError):
+            ServeConfig(**kwargs)
+
+    def test_window_max_caps_coalescing(self, make_server, sock_path,
+                                        serve_trace):
+        server = make_server(ServeConfig(window_max=1))
+        with ServerThread(server, sock_path):
+            with ServeClient(sock_path) as client:
+                for i in range(3):
+                    client.place(serve_trace.containers[i:i + 1])
+        assert server.telemetry.peak_window_size == 1
+        assert server.telemetry.windows_committed == 3

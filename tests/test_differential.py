@@ -641,3 +641,82 @@ def test_replay_exercises_mixed_churn():
     assert saw_migration_or_preemption, (
         "workload too easy: no rescue/preemption/overflow pressure at all"
     )
+
+
+# ----------------------------------------------------------------------
+# serving axis: the same seeded arrival/departure schedule, replayed
+# through a live `repro serve` server and through the in-process
+# OnlineSimulator, must produce bit-identical canonical JSON — the
+# served run IS the simulated run, window for window, across the
+# batched×cached×workers axes.
+# ----------------------------------------------------------------------
+SERVE_VARIANTS = {
+    "default": AladdinConfig(),
+    "no-batch": AladdinConfig(enable_batch_kernel=False),
+    "no-cache": AladdinConfig(enable_feasibility_cache=False),
+    "workers-2": AladdinConfig(workers=2),
+}
+
+
+def _served_canonical(make_scheduler, trace, cfg):
+    """Canonical JSON of ``trace``'s schedule served over a live socket."""
+    import os
+    import shutil
+    import tempfile
+
+    from repro.serve import (
+        PlacementServer,
+        ServeClient,
+        ServerThread,
+        replay_online_schedule,
+    )
+    from repro.sim.online import pool_topology
+
+    topology = pool_topology(trace, cfg)
+    server = PlacementServer(
+        make_scheduler(), ClusterState(topology, trace.constraints)
+    )
+    # Unix socket paths are capped around 100 chars — short /tmp dir,
+    # not pytest's deeply nested tmp_path.
+    d = tempfile.mkdtemp(prefix="ald", dir="/tmp")
+    try:
+        with ServerThread(server, os.path.join(d, "s.sock")):
+            with ServeClient(os.path.join(d, "s.sock")) as client:
+                replay_online_schedule(client, trace, cfg)
+                return client.result()
+    finally:
+        shutil.rmtree(d, ignore_errors=True)
+
+
+@pytest.mark.parametrize("variant", sorted(SERVE_VARIANTS))
+def test_served_decisions_match_simulated(variant):
+    """One request per simulated tick through the serving stack: the
+    server's coalesced windows reproduce the simulator's run exactly —
+    totals, per-tick samples and telemetry counters all bit-identical,
+    for the default engine and its batched/cached/workers ablations."""
+    from repro.sim.online import OnlineConfig, OnlineSimulator
+
+    sched_cfg = SERVE_VARIANTS[variant]
+    trace = _online_trace()
+    cfg = OnlineConfig(ticks=20, seed=3)
+    simulated = (
+        OnlineSimulator(trace, cfg)
+        .run(AladdinScheduler(sched_cfg))
+        .canonical_json()
+    )
+    served = _served_canonical(
+        lambda: AladdinScheduler(sched_cfg), trace, cfg
+    )
+    assert served == simulated
+
+
+def test_served_replay_is_deterministic():
+    """Two independent served replays of the same schedule produce the
+    same canonical JSON — the serving loop adds no hidden state."""
+    from repro.sim.online import OnlineConfig
+
+    trace = _online_trace()
+    cfg = OnlineConfig(ticks=12, seed=9)
+    first = _served_canonical(AladdinScheduler, trace, cfg)
+    second = _served_canonical(AladdinScheduler, trace, cfg)
+    assert first == second
