@@ -18,11 +18,16 @@ Life of a request
    request gets exactly one decision reply, every refused one gets
    exactly one rejection.
 2. **Coalescing.**  The window loop drains up to ``window_max`` queued
-   requests into one window.  Within a window the application order is
-   fixed and documented: repairs, then faults (displaced containers are
-   requeued ahead of the window's arrivals in priority order, minus any
-   container the same window departs), then departures, then one
-   scheduler round over the combined batch.
+   requests into one window.  Fault/repair requests are vetted against
+   the committed state *before* anything mutates — one naming an
+   unknown machine (or repairing a machine that still hosts
+   containers) gets its own ``error`` reply and is dropped from the
+   window, never aborting it half-applied.  Within a window the
+   application order is fixed and documented: repairs, then faults
+   (two passes in that order, regardless of arrival interleaving;
+   displaced containers are requeued ahead of the window's arrivals in
+   priority order, minus any container the same window departs), then
+   departures, then one scheduler round over the combined batch.
 3. **Commit.**  The window mutates the cluster state, appends a
    :class:`~repro.sim.online.TickSample` to the run's
    :class:`~repro.sim.online.OnlineResult`, records per-window
@@ -133,6 +138,11 @@ class PlacementServer:
         #: tick -> decisions of that committed window (bounded log)
         self.decisions: dict[int, dict] = {}
         self._queue: deque = deque()
+        #: serialises the window-commit fold (result/decisions/windows)
+        #: against control reads on the event loop.  Held only for the
+        #: fast fold, never across a scheduler round, so taking it on
+        #: the loop blocks for microseconds at worst.
+        self._commit_lock = threading.Lock()
         self._wakeup = asyncio.Event()
         self._stop = asyncio.Event()
         self._reply_tasks: set[asyncio.Task] = set()
@@ -269,14 +279,23 @@ class PlacementServer:
                 if rtype == "ping":
                     await self._write(writer, {"status": "ok", "pong": True})
                 elif rtype == "stats":
-                    await self._write(writer, self._stats_reply())
+                    # Control reads snapshot under the commit lock so a
+                    # mid-fold window in the executor can never leak a
+                    # half-committed result (sample appended, totals
+                    # not yet folded in).
+                    with self._commit_lock:
+                        reply = self._stats_reply()
+                    await self._write(writer, reply)
                 elif rtype == "result":
+                    with self._commit_lock:
+                        canonical = self.result.canonical_json()
                     await self._write(
-                        writer,
-                        {"status": "ok", "canonical": self.result.canonical_json()},
+                        writer, {"status": "ok", "canonical": canonical}
                     )
                 elif rtype == "decisions":
-                    await self._write(writer, self._decisions_reply(req["tick"]))
+                    with self._commit_lock:
+                        reply = self._decisions_reply(req["tick"])
+                    await self._write(writer, reply)
                 elif rtype == "shutdown":
                     await self._write(writer, {"status": "ok", "stopping": True})
                     self._signal_stop()
@@ -370,7 +389,11 @@ class PlacementServer:
                 replies = await loop.run_in_executor(
                     None, self._apply_window, window
                 )
-            except Exception as exc:  # scheduler failure: reply, keep serving
+            except Exception as exc:
+                # Last resort for a genuine scheduler bug — protocol-
+                # valid requests can no longer land here, because
+                # _validate_window vets fault/repair targets before
+                # the window mutates any state.
                 replies = [
                     (w, {"status": "error",
                          "error": f"window failed: {exc!r}"})
@@ -387,25 +410,74 @@ class PlacementServer:
     # ------------------------------------------------------------------
     # window application (executor thread)
     # ------------------------------------------------------------------
+    def _validate_window(self, window) -> dict[int, str]:
+        """Vet fault/repair requests against the committed state.
+
+        Runs before *anything* mutates, so one bad request can never
+        abort — or half-apply — the window it coalesced into.  Returns
+        ``id(req) -> message`` for requests that cannot apply; each
+        gets its own ``error`` reply and is excluded from the window.
+
+        The checks mirror exactly what would make the apply helpers
+        raise: :func:`fail_machines` rejects out-of-range machine ids,
+        :func:`repair_machines` rejects machines still hosting
+        containers.  Repair eligibility is exact against the
+        pre-window state because repairs apply first (before faults
+        evict anything) and repairs never add containers.
+        """
+        errors: dict[int, str] = {}
+        n = self.state.n_machines
+        for req, _writer in window:
+            rtype = req["type"]
+            if rtype not in ("fault", "repair"):
+                continue
+            bad = [m for m in req["machines"] if not 0 <= m < n]
+            if bad:
+                errors[id(req)] = (
+                    f"{rtype}: machines {bad} out of range "
+                    f"(cluster has {n} machines)"
+                )
+            elif rtype == "repair":
+                hosting = [
+                    m for m in req["machines"]
+                    if self.state.machine_containers.get(m)
+                ]
+                if hosting:
+                    errors[id(req)] = (
+                        f"repair: machines {hosting} host containers; "
+                        "they were not failed"
+                    )
+        return errors
+
     def _apply_window(self, window) -> list:
         """Commit one coalesced window; returns ``(writer, reply)`` pairs.
 
+        Fault/repair requests are validated by :meth:`_validate_window`
+        before any state mutates; invalid ones are answered with
+        per-request ``error`` replies and skipped, so the window always
+        commits atomically for the requests that remain.
+
         Application order within the window: repairs → faults →
         departures → one scheduler round over requeued-displaced +
-        placement arrivals.  A fault-displaced container that the same
+        placement arrivals.  Repairs and faults apply as two passes in
+        that order — never interleaved by arrival — so a window's
+        outcome does not depend on how its requests happened to be
+        ordered on the wire.  A fault-displaced container that the same
         window departs is dropped from the requeue, mirroring a
         departure that raced the failure.
         """
         tick = self.windows
+        errors = self._validate_window(window)
+        live = [(req, w) for req, w in window if id(req) not in errors]
         departures: list[int] = []
         requeue: list = []
         arrivals: list = []
         faulted: dict[int, list[int]] = {}
-        for req, _writer in window:
-            rtype = req["type"]
-            if rtype == "repair":
+        for req, _writer in live:
+            if req["type"] == "repair":
                 repair_machines(self.state, req["machines"])
-            elif rtype == "fault":
+        for req, _writer in live:
+            if req["type"] == "fault":
                 report = fail_machines(self.state, req["machines"])
                 displaced = sorted(
                     report.displaced,
@@ -413,7 +485,9 @@ class PlacementServer:
                 )
                 faulted[id(req)] = [c.container_id for c in displaced]
                 requeue.extend(displaced)
-            elif rtype == "depart":
+        for req, _writer in live:
+            rtype = req["type"]
+            if rtype == "depart":
                 departures.extend(req["containers"])
             elif rtype == "place":
                 departures.extend(req.get("departures", ()))
@@ -429,9 +503,10 @@ class PlacementServer:
             self.scheduler, self.state,
             tick=tick, departures=departures, batch=batch,
         )
-        record_window(self.result, sample, schedule)
-        self._log_decisions(tick, sample, schedule)
-        self.windows += 1
+        with self._commit_lock:
+            record_window(self.result, sample, schedule)
+            self._log_decisions(tick, sample, schedule)
+            self.windows += 1
 
         ckpt = None
         cfg = self.config
@@ -445,7 +520,9 @@ class PlacementServer:
         if self.on_window is not None:
             self.on_window(tick, ckpt)
 
-        return self._build_replies(window, tick, sample, schedule, faulted)
+        return self._build_replies(
+            window, tick, sample, schedule, faulted, errors
+        )
 
     def _log_decisions(self, tick, sample, schedule: ScheduleResult | None):
         self.decisions[tick] = {
@@ -461,11 +538,17 @@ class PlacementServer:
         while len(self.decisions) > self.config.decision_log:
             self.decisions.pop(min(self.decisions))
 
-    def _build_replies(self, window, tick, sample, schedule, faulted) -> list:
+    def _build_replies(
+        self, window, tick, sample, schedule, faulted, errors
+    ) -> list:
         placements = schedule.placements if schedule is not None else {}
         undeployed = schedule.undeployed if schedule is not None else {}
         out = []
         for req, writer in window:
+            failed = errors.get(id(req))
+            if failed is not None:
+                out.append((writer, {"status": "error", "error": failed}))
+                continue
             rtype = req["type"]
             reply: dict = {"status": "ok", "tick": tick}
             if rtype == "place":
@@ -537,9 +620,13 @@ class ServerThread:
 
     def start(self) -> "ServerThread":
         self._thread.start()
-        self._ready.wait(timeout=30)
+        became_ready = self._ready.wait(timeout=30)
         if self._error is not None:
             raise self._error
+        if not became_ready:
+            raise RuntimeError(
+                "serve thread did not become ready within 30s"
+            )
         return self
 
     def stop(self, timeout: float = 60) -> None:

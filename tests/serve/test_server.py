@@ -129,6 +129,94 @@ class TestWindows:
         assert str(leaver) not in replies["fault"]["undeployed"]
         assert leaver not in server.state.assignment
 
+    def test_fault_out_of_range_is_per_request_error(
+        self, served, serve_trace
+    ):
+        """A fault naming an unknown machine must get its own error
+        reply without aborting the window or desyncing the run: the
+        server keeps committing windows afterwards."""
+        server, client = served
+        client.place(serve_trace.containers[:4])
+        windows_before = server.windows
+        with pytest.raises(ServeError, match="out of range"):
+            client.fault([10**6])
+        # the bad request still consumed a window boundary — decisions
+        # stay exactly-once and the counter advanced
+        assert server.windows == windows_before + 1
+        # and the server keeps serving consistent windows
+        reply = client.place(serve_trace.containers[4:6])
+        assert reply["status"] == "ok"
+        assert client.result() == server.result.canonical_json()
+
+    def test_repair_of_hosting_machine_is_per_request_error(
+        self, served, serve_trace
+    ):
+        server, client = served
+        placed = client.place(serve_trace.containers[:4])["placements"]
+        machine = int(next(iter(placed.values())))
+        with pytest.raises(ServeError, match="host containers"):
+            client.repair([machine])
+        # the occupied machine was not touched
+        assert server.state.available[machine].any()
+        assert client.ping()
+
+    def test_bad_request_does_not_abort_siblings_in_window(
+        self, make_server, serve_trace
+    ):
+        """An invalid fault coalesced with a valid placement must not
+        take the placement down with it — the valid request gets a
+        decision, the invalid one its own error."""
+        from repro.serve.protocol import validate_request
+
+        server = make_server(ServeConfig(window_max=8))
+        place = validate_request({
+            "type": "place", "containers": [], "departures": [],
+        })
+        place["_containers"] = serve_trace.containers[:3]
+        window = [
+            ({"type": "fault", "machines": [10**6]}, None),
+            (place, None),
+        ]
+        (_, bad), (_, good) = server._apply_window(window)
+        assert bad["status"] == "error" and "out of range" in bad["error"]
+        assert good["status"] == "ok"
+        decided = set(good["placements"]) | set(good["undeployed"])
+        assert decided == {str(c.container_id) for c in place["_containers"]}
+        assert server.windows == 1
+
+    def test_fault_then_repair_coalesced_applies_repairs_first(
+        self, make_server, serve_trace
+    ):
+        """Documented window order is repairs → faults as two passes:
+        a window holding [fault m, repair m] leaves m failed no matter
+        the arrival interleaving."""
+        from repro.serve.protocol import validate_request
+
+        server = make_server(ServeConfig(window_max=8))
+        place = validate_request({
+            "type": "place", "containers": [], "departures": [],
+        })
+        place["_containers"] = serve_trace.containers[:4]
+        [(_, first)] = server._apply_window([(place, None)])
+        machine = int(next(iter(first["placements"].values())))
+        # evict the machine's containers first so the repair is valid
+        [(_, cleared)] = server._apply_window(
+            [({"type": "fault", "machines": [machine]}, None)]
+        )
+        assert cleared["status"] == "ok"
+        [(_, healed)] = server._apply_window(
+            [({"type": "repair", "machines": [machine]}, None)]
+        )
+        assert healed["status"] == "ok"
+        window = [
+            ({"type": "fault", "machines": [machine]}, None),
+            ({"type": "repair", "machines": [machine]}, None),
+        ]
+        for reply_pair in server._apply_window(window):
+            assert reply_pair[1]["status"] == "ok"
+        # repair applied first, fault second: the machine ends failed
+        assert not server.state.available[machine].any()
+
     def test_step_reports_running(self, served, serve_trace):
         _server, client = served
         client.place(serve_trace.containers[:5])
