@@ -43,6 +43,7 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import time
 from pathlib import Path
 
@@ -55,6 +56,30 @@ from repro.cluster.state import ClusterState
 from repro.cluster.topology import build_cluster
 from repro.sim import OnlineConfig, OnlineSimulator
 from repro.telemetry import SchedulerTelemetry
+
+def host_info() -> dict:
+    """Provenance header stamped into every ``BENCH_*.json`` setup.
+
+    A committed measurement is only re-measurable if the report says
+    what it was measured *on*: CPU budget, platform, interpreter and
+    the git revision of the code that produced it.
+    """
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5,
+            cwd=Path(__file__).resolve().parent,
+        )
+        git_rev = rev.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        git_rev = None
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "git_rev": git_rev,
+    }
+
 
 #: The cumulative ablation trajectory, in presentation order.  Each
 #: stage adds one optimisation on top of the previous stage.
@@ -122,8 +147,6 @@ def run_report(
             "n_containers": trace.n_containers,
             "repeats": repeats,
             "workers": workers,
-            "cpu_count": os.cpu_count(),
-            "python": platform.python_version(),
         },
         "variants": {},
     }
@@ -299,8 +322,6 @@ def run_rescue_report(
             "churn_ticks": churn_ticks,
             "n_machines": stream[4],
             "repeats": repeats,
-            "cpu_count": os.cpu_count(),
-            "python": platform.python_version(),
         },
         "variants": {},
     }
@@ -409,8 +430,6 @@ def run_restore_report(
             "n_containers": trace.n_containers,
             "probe_containers": len(probe),
             "repeats": repeats,
-            "cpu_count": os.cpu_count(),
-            "python": platform.python_version(),
         },
         "variants": {},
     }
@@ -454,6 +473,7 @@ def resolve_out(out: str | None, smoke: bool, force: bool, mode: str = "fig12") 
         "rescue": "BENCH_rescue.json",
         "restore": "BENCH_restore.json",
         "serve": "BENCH_serve.json",
+        "solver": "BENCH_solver.json",
     }
     if out is None:
         base = committed[mode]
@@ -471,7 +491,8 @@ def main(argv: list[str] | None = None) -> int:
         description="Fig. 12+ churn ablation -> BENCH_fig12.json"
     )
     parser.add_argument("--mode",
-                        choices=("fig12", "rescue", "restore", "serve"),
+                        choices=("fig12", "rescue", "restore", "serve",
+                                 "solver"),
                         default="fig12",
                         help="fig12: cumulative ablation trajectory; "
                              "rescue: tight-cluster rescue-path kernel "
@@ -479,7 +500,9 @@ def main(argv: list[str] | None = None) -> int:
                              "latency after a restart, warm cache "
                              "resync vs cold rebuild; serve: closed-loop "
                              "SLO load against the async placement "
-                             "service (req/s, p50/p99 decision latency)")
+                             "service (req/s, p50/p99 decision latency); "
+                             "solver: LP window engine vs SPFA and the "
+                             "batch kernel at 4k/12k machines")
     parser.add_argument("--scale", type=float, default=0.05,
                         help="trace scale (default 0.05 -> 4000 machines "
                              "under the default pool factor)")
@@ -508,6 +531,15 @@ def main(argv: list[str] | None = None) -> int:
                              "saturated operating point")
     parser.add_argument("--batch-size", type=int, default=16,
                         help="serve mode: containers per placement request")
+    parser.add_argument("--window-sizes", type=int, nargs="+",
+                        default=(64, 256),
+                        help="solver mode: containers per scheduling "
+                             "window (one benchmark cell per size)")
+    parser.add_argument("--solver-scales", type=float, nargs="+",
+                        default=(0.05, 0.15),
+                        help="solver mode: trace scales (0.05/0.15 under "
+                             "the default pool factor -> 4,000 and "
+                             "12,000 machines)")
     parser.add_argument("--serve-pool-factor", type=float, default=20.0,
                         help="serve mode machine pool factor (20.0 puts "
                              "the default 0.05-scale trace at 10,000 "
@@ -528,9 +560,17 @@ def main(argv: list[str] | None = None) -> int:
         args.scale, args.ticks, args.repeats = 0.02, 20, 1
         args.n_apps, args.churn_ticks = 80, 6
         args.duration, args.clients = 2.0, 4
+        args.solver_scales, args.window_sizes = (0.02,), (32,)
     out = resolve_out(args.out, args.smoke, args.force, mode=args.mode)
 
-    if args.mode == "serve":
+    if args.mode == "solver":
+        from benchmarks.bench_solver import run_solver_report
+
+        report = run_solver_report(
+            args.seed, tuple(args.solver_scales),
+            tuple(args.window_sizes), args.pool_factor, args.repeats,
+        )
+    elif args.mode == "serve":
         from benchmarks.bench_serve import run_serve_report
 
         report = run_serve_report(
@@ -551,6 +591,8 @@ def main(argv: list[str] | None = None) -> int:
             args.scale, args.seed, args.ticks, args.pool_factor,
             args.repeats, workers=args.workers,
         )
+    # Every committed BENCH_*.json carries the same provenance header.
+    report.setdefault("setup", {}).update(host_info())
     Path(out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out}")
     return 0

@@ -29,7 +29,6 @@ Run via the report driver (the output-path policy lives there)::
 from __future__ import annotations
 
 import os
-import platform
 import shutil
 import tempfile
 
@@ -125,8 +124,6 @@ def run_serve_report(
             "n_machines": topology.n_machines,
             "batch_size": batch_size,
             "duration_s": duration_s,
-            "cpu_count": os.cpu_count(),
-            "python": platform.python_version(),
         },
         "operating_points": {},
     }

@@ -38,6 +38,14 @@ from repro.core import (
     AladdinScheduler,
     FeasibilityCache,
     FlowPathSearch,
+    PlacementInvalidError,
+    QualityMetrics,
+    ValidationReport,
+    engine_for,
+    measure_quality,
+    quality_gaps,
+    validate_state,
+    validate_window,
 )
 from repro.baselines import (
     SCHEDULERS,
@@ -88,6 +96,14 @@ __all__ = [
     "AladdinScheduler",
     "FeasibilityCache",
     "FlowPathSearch",
+    "PlacementInvalidError",
+    "QualityMetrics",
+    "ValidationReport",
+    "engine_for",
+    "measure_quality",
+    "quality_gaps",
+    "validate_state",
+    "validate_window",
     "SchedulerTelemetry",
     "SCHEDULERS",
     "FirmamentPolicy",

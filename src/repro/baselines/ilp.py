@@ -15,6 +15,11 @@ maximises
 subject to single placement per container, per-machine multidimensional
 capacity (Equation-1 analogue), and, when ``c = 0``, hard anti-affinity
 exclusions instead of the ``z`` relaxation.
+
+The sparse ``A_ub x <= b_ub`` assembly lives in
+:class:`SparseLinearModel` so the solver engine
+(:mod:`repro.core.vecsolve`) reuses the exact same machinery for its
+LP-relaxed window formulation instead of growing a second COO builder.
 """
 
 from __future__ import annotations
@@ -23,8 +28,68 @@ import numpy as np
 
 from repro.cluster.container import Container
 from repro.cluster.state import ClusterState
+from repro.core.vecsolve import _require_scipy
 
 _PENALTY_SCALE = 10.0
+
+
+class SparseLinearModel:
+    """Incremental COO assembly of an ``A_ub x <= b_ub`` constraint block.
+
+    Shared by the Medea window MILP below and the solver engine's window
+    LP: callers append rows entry by entry (:meth:`add_entry` under an
+    explicit row counter, or whole rows via :meth:`add_row`) and finish
+    with :meth:`constraints`, which materialises the CSR matrix and the
+    :class:`scipy.optimize.LinearConstraint` in one go.  scipy is only
+    imported at materialisation time, keeping the assembly importable
+    without the ``solver`` extra.
+    """
+
+    def __init__(self) -> None:
+        self.rows: list[int] = []
+        self.cols: list[int] = []
+        self.vals: list[float] = []
+        self.ub: list[float] = []
+        self.n_rows = 0
+
+    def add_entry(self, row: int, col: int, val: float) -> None:
+        """Append one coefficient to an open row."""
+        self.rows.append(row)
+        self.cols.append(col)
+        self.vals.append(val)
+
+    def close_row(self, ub: float) -> int:
+        """Finish the current row with its upper bound; returns its id."""
+        self.ub.append(float(ub))
+        row = self.n_rows
+        self.n_rows += 1
+        return row
+
+    def add_row(self, entries: list[tuple[int, float]], ub: float) -> int:
+        """Append one complete ``Σ coef·x[col] <= ub`` row."""
+        row = self.n_rows
+        for col, val in entries:
+            self.add_entry(row, col, val)
+        return self.close_row(ub)
+
+    def matrix(self, n_vars: int):
+        """The assembled sparse CSR matrix, shape (n_rows, n_vars)."""
+        _require_scipy()
+        from scipy import sparse
+
+        return sparse.csr_matrix(
+            (self.vals, (self.rows, self.cols)),
+            shape=(self.n_rows, n_vars),
+        )
+
+    def constraints(self, n_vars: int):
+        """The assembled :class:`scipy.optimize.LinearConstraint`."""
+        _require_scipy()
+        from scipy import optimize
+
+        return optimize.LinearConstraint(
+            self.matrix(n_vars), ub=np.array(self.ub)
+        )
 
 
 def solve_medea_window(
@@ -38,7 +103,8 @@ def solve_medea_window(
     Only machines that are resource-feasible for at least one window
     container enter the model; the caller applies the assignment.
     """
-    from scipy import optimize, sparse
+    _require_scipy()
+    from scipy import optimize
 
     if not window:
         return {}
@@ -92,30 +158,18 @@ def solve_medea_window(
     if not hard:
         objective[n_x:] = penalty  # scipy minimises
 
-    rows: list[int] = []
-    cols: list[int] = []
-    vals: list[float] = []
-    ub: list[float] = []
-    row = 0
-
-    def add_entry(r: int, c: int, v: float) -> None:
-        rows.append(r)
-        cols.append(c)
-        vals.append(v)
+    model = SparseLinearModel()
 
     # One placement per container.
     for i in range(n):
-        for j in range(m):
-            add_entry(row, xid(i, j), 1.0)
-        ub.append(1.0)
-        row += 1
+        model.add_row([(xid(i, j), 1.0) for j in range(m)], 1.0)
     # Machine capacity per resource dimension.
     for j, machine_id in enumerate(machines):
         for d in range(topo.n_dims):
-            for i in range(n):
-                add_entry(row, xid(i, j), demands[i, d])
-            ub.append(float(state.available[int(machine_id), d]))
-            row += 1
+            model.add_row(
+                [(xid(i, j), demands[i, d]) for i in range(n)],
+                float(state.available[int(machine_id), d]),
+            )
 
     z_cursor = n_x
     if hard:
@@ -124,44 +178,37 @@ def solve_medea_window(
         for i in range(n):
             for j in range(m):
                 if pre_conflict[i, j]:
-                    add_entry(row, xid(i, j), 1.0)
-                    ub.append(0.0)
-                    row += 1
+                    model.add_row([(xid(i, j), 1.0)], 0.0)
         for (i1, i2) in pairs:
             for j in range(m):
-                add_entry(row, xid(i1, j), 1.0)
-                add_entry(row, xid(i2, j), 1.0)
-                ub.append(1.0)
-                row += 1
+                model.add_row(
+                    [(xid(i1, j), 1.0), (xid(i2, j), 1.0)], 1.0
+                )
     else:
         # Soft: z >= x1 + x2 - 1 per pair/machine; z >= x per
         # pre-conflicted placement.
         for (i1, i2) in pairs:
             for j in range(m):
-                add_entry(row, xid(i1, j), 1.0)
-                add_entry(row, xid(i2, j), 1.0)
-                add_entry(row, z_cursor, -1.0)
-                ub.append(1.0)
-                row += 1
+                model.add_row(
+                    [
+                        (xid(i1, j), 1.0),
+                        (xid(i2, j), 1.0),
+                        (z_cursor, -1.0),
+                    ],
+                    1.0,
+                )
                 z_cursor += 1
         for i in range(n):
             for j in range(m):
                 if pre_conflict[i, j]:
-                    add_entry(row, xid(i, j), 1.0)
-                    add_entry(row, z_cursor, -1.0)
-                    ub.append(0.0)
-                    row += 1
+                    model.add_row(
+                        [(xid(i, j), 1.0), (z_cursor, -1.0)], 0.0
+                    )
                     z_cursor += 1
 
-    constraints = optimize.LinearConstraint(
-        sparse.csr_matrix(
-            (vals, (rows, cols)), shape=(row, n_vars)
-        ),
-        ub=np.array(ub),
-    )
     res = optimize.milp(
         c=objective,
-        constraints=constraints,
+        constraints=model.constraints(n_vars),
         integrality=np.ones(n_vars),
         bounds=optimize.Bounds(0, 1),
         options={"time_limit": time_limit_s},

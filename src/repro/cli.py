@@ -188,14 +188,20 @@ def _aladdin_variant(args, factories):
     """The scheduler an ``online``/``serve`` invocation asked for."""
     if args.scheduler == "Aladdin" and (
         args.no_cache or args.no_batch or args.no_rescue_kernel
-        or args.workers > 1
+        or args.workers > 1 or args.engine != "batch"
+        or args.solver_objective != "packing" or args.rebalance_shards
     ):
-        return AladdinScheduler(
+        from repro.core import engine_for
+
+        return engine_for(
             AladdinConfig(
                 enable_feasibility_cache=not args.no_cache,
                 enable_batch_kernel=not args.no_batch,
                 enable_rescue_kernel=not args.no_rescue_kernel,
                 workers=args.workers,
+                engine=args.engine,
+                solver_objective=args.solver_objective,
+                shard_rebalance=args.rebalance_shards,
             )
         )
     return factories[args.scheduler]()
@@ -321,6 +327,24 @@ def _add_variant_args(parser: argparse.ArgumentParser) -> None:
                         help="processes for the rack-sharded parallel sweep "
                              "(Aladdin only; 1 = serial, placements are "
                              "bit-identical either way)")
+    parser.add_argument("--engine", default="batch",
+                        choices=["batch", "flow", "solver"],
+                        help="placement engine (Aladdin only): the "
+                             "vectorised incremental scheduler (default), "
+                             "the flow-network reference, or the one-shot "
+                             "LP window solver (needs the 'solver' extra)")
+    parser.add_argument("--solver-objective", default="packing",
+                        choices=["packing", "maxmin"],
+                        help="window-LP objective for --engine solver: "
+                             "weighted packing (default) or two-phase "
+                             "max-min fairness over per-app placed "
+                             "fractions")
+    parser.add_argument("--rebalance-shards", action="store_true",
+                        help="resize the parallel sweep's shards by "
+                             "per-rack resident density at checkpoint "
+                             "boundaries (Aladdin with --workers > 1; "
+                             "placements are unchanged, worker cache "
+                             "telemetry differs)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -16,8 +16,13 @@
   bit-identical to the serial pipeline;
 * :mod:`~repro.core.migration` — priority-aware preemption and
   migration (Section III.B, Fig. 3 and Fig. 7);
+* :mod:`~repro.core.validate` — the shared Equation 7–9 placement
+  validator and the Fig. 9 quality metrics all engines are held to;
+* :mod:`~repro.core.vecsolve` — the one-shot LP window engine
+  (``AladdinConfig(engine="solver")``; needs the ``solver`` extra);
 * :mod:`~repro.core.scheduler` — :class:`AladdinScheduler`, the
-  end-to-end scheduler.
+  end-to-end scheduler; :func:`engine_for` picks the engine a config
+  names.
 """
 
 from repro.core.config import AladdinConfig
@@ -27,9 +32,46 @@ from repro.core.blacklist import BlacklistFunction
 from repro.core.feascache import FeasibilityCache
 from repro.core.machindex import MachineIndex
 from repro.core.network_builder import LayeredNetwork, build_layered_network
-from repro.core.parallel import ParallelSweep, merge_candidates, shard_bounds
+from repro.core.parallel import (
+    ParallelSweep,
+    merge_candidates,
+    rack_work_weights,
+    shard_bounds,
+)
 from repro.core.scheduler import AladdinScheduler
 from repro.core.search import FlowPathSearch
+from repro.core.validate import (
+    QUALITY_TOLERANCE,
+    PlacementInvalidError,
+    QualityMetrics,
+    ValidationReport,
+    WindowContext,
+    measure_quality,
+    quality_gaps,
+    validate_state,
+    validate_window,
+)
+
+
+def engine_for(config: AladdinConfig | None = None):
+    """Build the placement engine ``config.engine`` names.
+
+    ``"batch"`` → :class:`AladdinScheduler`, ``"flow"`` →
+    :class:`FlowPathSearch`, ``"solver"`` →
+    :class:`~repro.core.vecsolve.SolverScheduler` (imported lazily so
+    the default engines stay importable without scipy; selecting the
+    solver without the ``solver`` extra raises an actionable
+    ImportError).
+    """
+    config = config if config is not None else AladdinConfig()
+    if config.engine == "flow":
+        return FlowPathSearch(config)
+    if config.engine == "solver":
+        from repro.core.vecsolve import SolverScheduler
+
+        return SolverScheduler(config)
+    return AladdinScheduler(config)
+
 
 __all__ = [
     "AladdinConfig",
@@ -43,7 +85,18 @@ __all__ = [
     "build_layered_network",
     "ParallelSweep",
     "merge_candidates",
+    "rack_work_weights",
     "shard_bounds",
     "AladdinScheduler",
     "FlowPathSearch",
+    "engine_for",
+    "QUALITY_TOLERANCE",
+    "PlacementInvalidError",
+    "QualityMetrics",
+    "ValidationReport",
+    "WindowContext",
+    "measure_quality",
+    "quality_gaps",
+    "validate_state",
+    "validate_window",
 ]

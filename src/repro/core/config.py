@@ -80,6 +80,30 @@ class AladdinConfig:
         LLA cannot be deployed, the whole application is rolled back
         and reported undeployed.  Off by default (the paper deploys
         partially); useful for LLAs that need full replica quorums.
+    engine:
+        Which placement engine :func:`repro.core.engine_for` builds:
+        ``"batch"`` (the vectorised incremental scheduler,
+        :class:`~repro.core.scheduler.AladdinScheduler`), ``"flow"``
+        (the flow-network reference engine,
+        :class:`~repro.core.search.FlowPathSearch`) or ``"solver"``
+        (the one-shot LP window engine,
+        :class:`~repro.core.vecsolve.SolverScheduler`; needs scipy —
+        install the ``solver`` extra).  The field is advisory for the
+        concrete classes (constructing ``AladdinScheduler`` directly
+        always builds the batch engine) — the factory is the switch.
+    solver_objective:
+        Objective of the solver engine's window LP: ``"packing"``
+        (maximise weighted placed count with a packed-first tie-break,
+        mirroring the incremental engines' preference order) or
+        ``"maxmin"`` (two-phase max-min fairness over per-application
+        placed fractions first, packing second — the Soroush-style
+        scenario axis).  Ignored by the other engines.
+    validate_placements:
+        Run the shared Equation 7–9 validator
+        (:func:`repro.core.validate.validate_state`) after every
+        ``schedule()`` call and raise on any violation.  Off by default
+        (it is a full-state audit); the differential and parity
+        harnesses switch it on.
     workers:
         Process count for the rack-sharded parallel feasibility/scoring
         sweep (:mod:`repro.core.parallel`).  ``1`` (the default) keeps
@@ -92,6 +116,16 @@ class AladdinConfig:
         that pipeline), and placements are provably bit-identical to
         the serial path — the workers axis of
         ``tests/test_differential.py`` enforces it under churn.
+    shard_rebalance:
+        Resize the parallel sweep's shards by per-rack resident density
+        at checkpoint boundaries (work-weighted :func:`shard_bounds`).
+        Placement decisions are bit-identical either way — the merge
+        re-establishes the serial total order for any rack-aligned
+        partition — but a rebalance resets the shard workers' caches
+        (cold resync), so the cache hit/miss telemetry differs from a
+        never-rebalanced run.  Off by default to keep default runs
+        byte-identical to previous releases; opt in via
+        ``online/serve --rebalance-shards``.
     """
 
     priority_weight_base: float = 16.0
@@ -107,7 +141,11 @@ class AladdinConfig:
     max_migrations_per_container: int = 16
     final_repair: bool = True
     gang_scheduling: bool = False
+    engine: str = "batch"
+    solver_objective: str = "packing"
+    validate_placements: bool = False
     workers: int = 1
+    shard_rebalance: bool = False
 
     def __post_init__(self) -> None:
         if self.priority_weight_base < 1:
@@ -120,6 +158,16 @@ class AladdinConfig:
             raise ValueError("max_migrations_per_container must be >= 0")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.engine not in ("batch", "flow", "solver"):
+            raise ValueError(
+                f"unknown engine {self.engine!r} "
+                "(choose batch, flow or solver)"
+            )
+        if self.solver_objective not in ("packing", "maxmin"):
+            raise ValueError(
+                f"unknown solver_objective {self.solver_objective!r} "
+                "(choose packing or maxmin)"
+            )
 
     def variant_name(self) -> str:
         """Human-readable policy name as used in Fig. 12 legends."""

@@ -66,28 +66,84 @@ _EMPTY = np.empty(0, dtype=np.int64)
 
 
 def shard_bounds(
-    n_machines: int, machines_per_rack: int, workers: int
+    n_machines: int,
+    machines_per_rack: int,
+    workers: int,
+    rack_weights: np.ndarray | None = None,
 ) -> list[tuple[int, int]]:
     """Rack-aligned contiguous ``[lo, hi)`` machine ranges, one per worker.
 
-    Racks are split as evenly as possible; the worker count is capped at
-    the rack count (an empty shard would be pure overhead).  The ranges
-    partition ``[0, n_machines)`` exactly.
+    Without ``rack_weights`` racks are split as evenly as possible *by
+    count* — the historical layout, bit-for-bit.  With weights (one
+    non-negative work estimate per rack, e.g. resident-container
+    density from :func:`rack_work_weights`) the cut points equalise
+    cumulative *work* instead: a shard full of packed racks gets fewer
+    racks than an idle one, so the per-query worker times converge.
+    Every rack also carries one unit of baseline cost (the sweep scans
+    empty racks too), which keeps the cuts defined when all weights are
+    zero.  Either way the ranges are rack-aligned, non-empty, and
+    partition ``[0, n_machines)`` exactly — the properties the merge's
+    determinism proof needs; the worker count is capped at the rack
+    count (an empty shard would be pure overhead).
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
     n_racks = -(-n_machines // machines_per_rack)
     workers = min(workers, n_racks)
-    base, extra = divmod(n_racks, workers)
-    bounds: list[tuple[int, int]] = []
-    lo_rack = 0
-    for w in range(workers):
-        hi_rack = lo_rack + base + (1 if w < extra else 0)
-        lo = lo_rack * machines_per_rack
-        hi = min(hi_rack * machines_per_rack, n_machines)
-        bounds.append((lo, hi))
-        lo_rack = hi_rack
-    return bounds
+    if rack_weights is None:
+        base, extra = divmod(n_racks, workers)
+        bounds: list[tuple[int, int]] = []
+        lo_rack = 0
+        for w in range(workers):
+            hi_rack = lo_rack + base + (1 if w < extra else 0)
+            lo = lo_rack * machines_per_rack
+            hi = min(hi_rack * machines_per_rack, n_machines)
+            bounds.append((lo, hi))
+            lo_rack = hi_rack
+        return bounds
+    weights = np.asarray(rack_weights, dtype=np.float64)
+    if weights.shape != (n_racks,):
+        raise ValueError(
+            f"rack_weights must have one entry per rack ({n_racks}), "
+            f"got shape {weights.shape}"
+        )
+    if (weights < 0).any():
+        raise ValueError("rack_weights must be non-negative")
+    cum = np.cumsum(weights + 1.0)
+    total = float(cum[-1])
+    rack_cuts = [0]
+    for w in range(1, workers):
+        cut = int(np.searchsorted(cum, total * w / workers, side="left")) + 1
+        # Monotone and non-empty: every shard keeps at least one rack.
+        cut = max(cut, rack_cuts[-1] + 1)
+        cut = min(cut, n_racks - (workers - w))
+        rack_cuts.append(cut)
+    rack_cuts.append(n_racks)
+    return [
+        (
+            rack_cuts[w] * machines_per_rack,
+            min(rack_cuts[w + 1] * machines_per_rack, n_machines),
+        )
+        for w in range(workers)
+    ]
+
+
+def rack_work_weights(state: ClusterState) -> np.ndarray:
+    """Per-rack resident-container density, as shard-sizing weights.
+
+    Resident count is the live proxy for per-shard sweep cost: packed
+    racks mean more dirty machines per deploy, more cache
+    invalidations, and more admitted candidates to score.  (Telemetry
+    ``worker_time_s`` would be the direct signal, but it aggregates per
+    worker, not per rack — density is the rack-resolved stand-in.)
+    """
+    topo = state.topology
+    n_racks = -(-state.n_machines // topo.spec.machines_per_rack)
+    return np.bincount(
+        np.asarray(topo.rack_of, dtype=np.int64),
+        weights=state.container_count.astype(np.float64),
+        minlength=n_racks,
+    )[:n_racks]
 
 
 def merge_candidates(
@@ -285,6 +341,8 @@ class ParallelSweep:
     cold_restarts:
         Times a dead shard worker forced :meth:`plan_block` through the
         cold-restart path (fresh workers, full resync).
+    rebalances:
+        Times :meth:`rebalance` actually moved a shard boundary.
     """
 
     def __init__(self, workers: int) -> None:
@@ -293,6 +351,7 @@ class ParallelSweep:
         self.workers = workers
         self.sweeps = 0
         self.cold_restarts = 0
+        self.rebalances = 0
         self._procs: list[mp.process.BaseProcess] = []
         self._conns: list = []
         self._bounds: list[tuple[int, int]] = []
@@ -348,6 +407,52 @@ class ParallelSweep:
         for conn in self._conns:
             conn.recv()
         self._synced_version = state.version
+
+    def _rebind(self, state: ClusterState, bounds: list[tuple[int, int]]) -> None:
+        """Re-shard the live workers onto ``bounds`` over the same
+        shared-memory segment.
+
+        Binding resets each worker's cache and index, so the first query
+        after a rebind resyncs every shard cold regardless of the dirty
+        log — decisions are unaffected (a fresh cache recomputes exactly
+        the serial verdicts), only the hit/miss telemetry shifts.
+        """
+        n, d = state.available.shape
+        rack_of = state.topology.rack_of
+        for conn, (lo, hi) in zip(self._conns, bounds):
+            conn.send(
+                ("bind", self._shm.name, (n, d), lo, hi,
+                 np.asarray(rack_of[lo:hi], dtype=np.int64))
+            )
+        for conn in self._conns:
+            conn.recv()
+        self._bounds = list(bounds)
+        self._synced_version = state.version
+
+    # ------------------------------------------------------------------
+    def rebalance(
+        self, state: ClusterState, rack_weights: np.ndarray | None = None
+    ) -> bool:
+        """Re-cut the shards by ``rack_weights`` (work-weighted sizing).
+
+        Returns whether any boundary actually moved; a no-op re-cut
+        (the weighted bounds equal the current ones) costs nothing and
+        keeps the worker caches warm.  Callers fire this at checkpoint
+        boundaries — *before* the snapshot is taken, so a resumed run
+        adopts the post-rebalance layout from the checkpoint payload.
+        """
+        self._attach(state)
+        bounds = shard_bounds(
+            state.n_machines,
+            state.topology.spec.machines_per_rack,
+            self.workers,
+            rack_weights,
+        )
+        if bounds == self._bounds or len(bounds) != len(self._conns):
+            return False
+        self._rebind(state, bounds)
+        self.rebalances += 1
+        return True
 
     # ------------------------------------------------------------------
     def plan_block(
@@ -465,6 +570,7 @@ class ParallelSweep:
             "bounds": list(self._bounds),
             "synced_version": self._synced_version,
             "sweeps": self.sweeps,
+            "rebalances": self.rebalances,
             "workers": workers,
         }
 
@@ -474,14 +580,29 @@ class ParallelSweep:
         Workers are re-spawned and the restored ``available`` array is
         re-adopted into fresh shared memory by the ordinary attach
         path; the image then reloads each worker's shard-local
-        watermark and caches.  A ``None`` payload or a shard-layout
-        mismatch (different worker count or cluster size) falls back to
-        the cold attach — a full resync, never silent corruption.
+        watermark and caches.  A checkpoint taken after a work-weighted
+        :meth:`rebalance` carries the moved boundaries: when the
+        payload's bounds form a valid rack-aligned partition for the
+        same worker count, the workers are re-bound onto them first, so
+        the resumed run keeps the rebalanced layout.  A ``None``
+        payload or an incompatible layout (different worker count or
+        cluster size) falls back to the cold attach — a full resync,
+        never silent corruption.
         """
         self._attach(state)
-        if payload is None or list(payload["bounds"]) != list(self._bounds):
+        if payload is None:
             return
+        bounds = [(int(lo), int(hi)) for lo, hi in payload["bounds"]]
+        if bounds != self._bounds:
+            if len(bounds) != len(self._conns) or not _is_rack_partition(
+                bounds,
+                state.n_machines,
+                state.topology.spec.machines_per_rack,
+            ):
+                return
+            self._rebind(state, bounds)
         self.sweeps = payload["sweeps"]
+        self.rebalances = payload.get("rebalances", 0)
         for conn, image in zip(self._conns, payload["workers"]):
             conn.send(("load", image))
         for conn in self._conns:
@@ -552,3 +673,19 @@ def _slice_ids(ids: np.ndarray | None, lo: int, hi: int) -> np.ndarray | None:
         return None
     seg = ids[(ids >= lo) & (ids < hi)]
     return seg - lo
+
+
+def _is_rack_partition(
+    bounds: list[tuple[int, int]], n_machines: int, machines_per_rack: int
+) -> bool:
+    """Whether ``bounds`` is a valid non-empty rack-aligned partition of
+    ``[0, n_machines)`` — the invariants the merge's determinism proof
+    (and shard-local rack dedup) relies on."""
+    if not bounds or bounds[0][0] != 0 or bounds[-1][1] != n_machines:
+        return False
+    prev_hi = 0
+    for lo, hi in bounds:
+        if lo != prev_hi or hi <= lo or lo % machines_per_rack != 0:
+            return False
+        prev_hi = hi
+    return True

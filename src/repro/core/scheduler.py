@@ -54,6 +54,7 @@ from repro.core.machindex import MachineIndex, affinity_tier, packing_keys
 from repro.core.migration import RescuePlanner
 from repro.core.parallel import ParallelSweep
 from repro.core.rescuekernel import RescueKernel
+from repro.core.validate import validate_state
 from repro.core.weights import derive_priority_weights
 
 
@@ -96,6 +97,25 @@ class AladdinScheduler(Scheduler):
             self.parallel.close()
 
     # ------------------------------------------------------------------
+    def rebalance_shards(self, state: ClusterState) -> bool:
+        """Resize the parallel sweep's shards by current resident density.
+
+        Only acts when ``shard_rebalance`` is configured and the sweep is
+        active; returns whether a rebalance happened.  Called by the
+        online simulator at checkpoint boundaries (before the snapshot is
+        written, so the checkpoint captures the post-rebalance layout).
+        Placement decisions are unaffected — the merge re-establishes the
+        serial total order for any rack-aligned partition — but the
+        workers resync their caches cold, which shows up in cache
+        telemetry (why the knob is opt-in).
+        """
+        if not self.config.shard_rebalance or self.parallel is None:
+            return False
+        from repro.core.parallel import rack_work_weights
+
+        return self.parallel.rebalance(state, rack_work_weights(state))
+
+    # ------------------------------------------------------------------
     def checkpoint(self) -> dict:
         """Serialisable image of every cross-round ledger; see
         :func:`engine_checkpoint`."""
@@ -133,6 +153,8 @@ class AladdinScheduler(Scheduler):
         result.telemetry = telemetry.SchedulerTelemetry()
         with telemetry.collect(result.telemetry):
             self._schedule(containers, state, result)
+        if self.config.validate_placements:
+            validate_state(state).raise_if_invalid(self.name)
         result.elapsed_s = time.perf_counter() - t0
         return result
 

@@ -44,6 +44,7 @@ from repro.core.scheduler import (
     engine_restore,
     final_repair,
 )
+from repro.core.validate import validate_state
 from repro.flownet.capacity import VectorCapacity
 from repro.flownet.validation import validate_flow
 
@@ -86,6 +87,17 @@ class FlowPathSearch(Scheduler):
             self.parallel.close()
 
     # ------------------------------------------------------------------
+    def rebalance_shards(self, state: ClusterState) -> bool:
+        """Work-weighted shard resize at checkpoint boundaries; same
+        semantics as the vectorised engine's hook (opt-in, decisions
+        unaffected, worker caches resync cold)."""
+        if not self.config.shard_rebalance or self.parallel is None:
+            return False
+        from repro.core.parallel import rack_work_weights
+
+        return self.parallel.rebalance(state, rack_work_weights(state))
+
+    # ------------------------------------------------------------------
     def checkpoint(self) -> dict:
         """Serialisable image of the cross-round ledgers (shared layout
         with the vectorised engine).  ``last_network`` is rebuilt per
@@ -117,6 +129,8 @@ class FlowPathSearch(Scheduler):
         result.telemetry = telemetry.SchedulerTelemetry()
         with telemetry.collect(result.telemetry):
             self._schedule(containers, state, result)
+        if self.config.validate_placements:
+            validate_state(state).raise_if_invalid(self.name)
         result.elapsed_s = time.perf_counter() - t0
         return result
 

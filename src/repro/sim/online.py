@@ -477,6 +477,13 @@ class OnlineSimulator:
                 and checkpoint_path
                 and (tick + 1) % checkpoint_every == 0
             ):
+                # Work-weighted shard resize (opt-in via
+                # AladdinConfig.shard_rebalance) fires *before* the
+                # snapshot so the checkpoint captures the post-rebalance
+                # layout and a resumed run adopts it bit-identically.
+                rebalance = getattr(scheduler, "rebalance_shards", None)
+                if rebalance is not None:
+                    rebalance(state)
                 self._write_checkpoint(
                     checkpoint_path, scheduler, state, result,
                     departures, idx, tick,

@@ -36,6 +36,15 @@ place all of those savings are *counted*:
   kernel (:mod:`repro.core.rescuekernel`) instead of the legacy
   per-machine loop (the one rescue counter that distinguishes the
   kernel axis);
+* ``solver_calls`` / ``solver_rounding_repairs`` — LP solves issued by
+  the solver engine (:mod:`repro.core.vecsolve`) and planned
+  placements its deterministic rounding pass had to reject back into
+  the per-container repair path (capacity/affinity drift between the
+  relaxed optimum and integral commitment);
+* ``solver_relaxation_gap`` — accumulated gap between the LP optimum's
+  fractional placement count and the units the rounding pass committed.
+  A float (fractional by nature), so like the wall times it is *not*
+  part of the deterministic counter set;
 * ``phase_time_s`` — wall time per scheduler phase (search, rescue,
   requeue, repair);
 * ``worker_time_s`` — per-shard-worker wall seconds inside the parallel
@@ -80,6 +89,12 @@ class SchedulerTelemetry:
     rescue_preemptions: int = 0
     rescue_machines_scanned: int = 0
     rescue_kernel_invocations: int = 0
+    solver_calls: int = 0
+    solver_rounding_repairs: int = 0
+    #: LP-optimum units minus committed units, accumulated per solve; a
+    #: float, so excluded from :meth:`counters` (platform-dependent LP
+    #: arithmetic must never leak into the byte-identity contract)
+    solver_relaxation_gap: float = 0.0
     #: phase name -> accumulated wall seconds (non-deterministic; kept
     #: out of :meth:`counters` on purpose)
     phase_time_s: dict[str, float] = field(default_factory=dict)
@@ -117,6 +132,8 @@ class SchedulerTelemetry:
             "rescue_preemptions": self.rescue_preemptions,
             "rescue_machines_scanned": self.rescue_machines_scanned,
             "rescue_kernel_invocations": self.rescue_kernel_invocations,
+            "solver_calls": self.solver_calls,
+            "solver_rounding_repairs": self.solver_rounding_repairs,
         }
 
     def add_phase_time(self, phase: str, seconds: float) -> None:
@@ -154,6 +171,9 @@ class SchedulerTelemetry:
         self.rescue_preemptions += other.rescue_preemptions
         self.rescue_machines_scanned += other.rescue_machines_scanned
         self.rescue_kernel_invocations += other.rescue_kernel_invocations
+        self.solver_calls += other.solver_calls
+        self.solver_rounding_repairs += other.solver_rounding_repairs
+        self.solver_relaxation_gap += other.solver_relaxation_gap
         for phase, dt in other.phase_time_s.items():
             self.add_phase_time(phase, dt)
         for worker, dt in other.worker_time_s.items():
@@ -189,6 +209,12 @@ class SchedulerTelemetry:
         if self.rescue_kernel_invocations:
             parts.append(
                 f"rescue kernel {self.rescue_kernel_invocations}"
+            )
+        if self.solver_calls:
+            parts.append(
+                f"solver {self.solver_calls} LP solves"
+                f" ({self.solver_rounding_repairs} rounding repairs,"
+                f" gap {self.solver_relaxation_gap:.2f})"
             )
         if self.worker_time_s:
             spread = ", ".join(

@@ -1,5 +1,7 @@
 """Medea baseline tests: the weights(a, b, c) semantics."""
 
+import importlib.util
+
 import pytest
 
 from repro.base import FailureReason
@@ -97,6 +99,10 @@ class TestTolerantMode:
         assert not result.violating
 
 
+@pytest.mark.skipif(
+    importlib.util.find_spec("scipy") is None,
+    reason="exact MILP baseline needs the solver extra (scipy)",
+)
 class TestExactMode:
     def test_exact_matches_greedy_on_simple_window(self):
         apps = make_apps((3, 8.0, 0, True, ()), (2, 4.0, 0, False, ()))

@@ -32,7 +32,13 @@ from repro.core import AladdinConfig, AladdinScheduler
 from repro.core.batchkernel import block_plan
 from repro.core.feascache import FeasibilityCache
 from repro.core.machindex import MachineIndex
-from repro.core.parallel import ParallelSweep, merge_candidates, shard_bounds
+from repro.core.parallel import (
+    ParallelSweep,
+    _is_rack_partition,
+    merge_candidates,
+    rack_work_weights,
+    shard_bounds,
+)
 from repro.core.scheduler import _scores
 
 
@@ -65,6 +71,181 @@ def test_shard_bounds_partition_and_rack_alignment(
 def test_shard_bounds_rejects_zero_workers():
     with pytest.raises(ValueError):
         shard_bounds(10, 2, 0)
+
+
+# ----------------------------------------------------------------------
+# work-weighted shard sizing
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(10))
+@pytest.mark.parametrize("workers", [1, 2, 3, 8])
+def test_weighted_shard_bounds_keep_partition_invariants(seed, workers):
+    """Random non-negative weights never break the properties the
+    merge's determinism proof needs: rack-aligned, non-empty,
+    contiguous, exact partition."""
+    rng = np.random.default_rng(seed)
+    n_machines, per_rack = 52, 4
+    n_racks = -(-n_machines // per_rack)
+    weights = rng.exponential(5.0, n_racks) * (rng.random(n_racks) < 0.7)
+    bounds = shard_bounds(n_machines, per_rack, workers, weights)
+    assert _is_rack_partition(bounds, n_machines, per_rack)
+    assert len(bounds) == min(workers, n_racks)
+
+
+def test_weighted_shard_bounds_none_matches_legacy_exactly():
+    """``rack_weights=None`` must reproduce the historical even split
+    bit-for-bit — the opt-out path of the rebalance satellite."""
+    for n_machines, per_rack, workers in [
+        (24, 4, 3), (40, 4, 8), (163, 40, 2), (7, 1, 3),
+    ]:
+        assert shard_bounds(n_machines, per_rack, workers) == shard_bounds(
+            n_machines, per_rack, workers, None
+        )
+
+
+def test_weighted_shard_bounds_move_toward_the_load():
+    """Heavily loaded leading racks shrink the first shard: the cut
+    equalises cumulative work, not rack count."""
+    even = shard_bounds(32, 4, 2)
+    skewed = shard_bounds(32, 4, 2, np.array([9.0, 9.0, 0, 0, 0, 0, 0, 0]))
+    assert even == [(0, 16), (16, 32)]
+    assert skewed == [(0, 8), (8, 32)]
+    assert skewed[0][1] < even[0][1]
+    # All-zero weights fall back to the baseline unit per rack — the
+    # even split again, so the cuts stay defined on an idle cluster.
+    assert shard_bounds(32, 4, 2, np.zeros(8)) == even
+
+
+def test_weighted_shard_bounds_validation():
+    with pytest.raises(ValueError, match="one entry per rack"):
+        shard_bounds(32, 4, 2, np.ones(3))
+    with pytest.raises(ValueError, match="non-negative"):
+        shard_bounds(32, 4, 2, np.array([1.0, -1.0, 1, 1, 1, 1, 1, 1]))
+
+
+def test_rack_work_weights_counts_residents_per_rack():
+    apps = [Application(app_id=0, n_containers=5, cpu=1.0, mem_gb=1.0)]
+    state = ClusterState(
+        build_cluster(12, machines_per_rack=4),
+        ConstraintSet.from_applications(apps),
+    )
+    cs = containers_of(apps)
+    for c, machine in zip(cs, [0, 1, 1, 5, 8]):
+        state.deploy(c, machine)
+    assert rack_work_weights(state).tolist() == [3.0, 1.0, 1.0]
+    state.evict(cs[0].container_id)
+    assert rack_work_weights(state).tolist() == [2.0, 1.0, 1.0]
+
+
+def test_is_rack_partition_rejects_malformed_bounds():
+    assert _is_rack_partition([(0, 8), (8, 16)], 16, 4)
+    assert not _is_rack_partition([], 16, 4)
+    assert not _is_rack_partition([(0, 8)], 16, 4)          # short
+    assert not _is_rack_partition([(0, 8), (12, 16)], 16, 4)  # gap
+    assert not _is_rack_partition([(0, 8), (8, 8)], 16, 4)  # empty shard
+    assert not _is_rack_partition([(0, 6), (6, 16)], 16, 4)  # unaligned
+
+
+# ----------------------------------------------------------------------
+# live rebalance: decisions unchanged, layout moved, checkpoint carries it
+# ----------------------------------------------------------------------
+def test_rebalance_moves_bounds_and_keeps_plans_serial_identical():
+    apps = [Application(app_id=0, n_containers=12, cpu=2.0, mem_gb=4.0)]
+    constraints = ConstraintSet.from_applications(apps)
+    sweep = ParallelSweep(2)
+    try:
+        state = ClusterState(build_cluster(32, machines_per_rack=4), constraints)
+        ref = ClusterState(build_cluster(32, machines_per_rack=4), constraints)
+        demand = np.array([2.0, 4.0])
+        by_app = containers_of(apps)
+        # Pack the leading racks so density skews the weighted cut.
+        for i, c in enumerate(by_app[:8]):
+            for s in (state, ref):
+                s.deploy(c, i % 4)
+        sweep.plan_block(state, demand, 0, 1, None)  # attach
+        before = list(sweep._bounds)
+        moved = sweep.rebalance(state, rack_work_weights(state))
+        assert moved
+        assert sweep.rebalances == 1
+        assert sweep._bounds != before
+        assert _is_rack_partition(sweep._bounds, 32, 4)
+        # A no-op re-cut with the same weights reports False.
+        assert not sweep.rebalance(state, rack_work_weights(state))
+        assert sweep.rebalances == 1
+        # Decisions after the rebalance still equal the serial plan.
+        machines, _, _ = sweep.plan_block(state, demand, 0, 4, None)
+        expected = _serial_plan(ref, demand, 0, 4, None)
+        assert machines.tolist() == expected.tolist()
+    finally:
+        sweep.close()
+
+
+def test_checkpoint_carries_rebalanced_bounds_through_restore():
+    constraints = ConstraintSet()
+    sweep = ParallelSweep(2)
+    restored = ParallelSweep(2)
+    try:
+        state = ClusterState(build_cluster(32, machines_per_rack=4), constraints)
+        sweep.plan_block(state, np.array([1.0, 1.0]), 0, 1, None)
+        weights = np.array([9.0, 9.0, 0, 0, 0, 0, 0, 0])
+        assert sweep.rebalance(state, weights)
+        rebalanced = list(sweep._bounds)
+        payload = sweep.checkpoint()
+        assert payload is not None
+        assert [tuple(b) for b in payload["bounds"]] == rebalanced
+        assert payload["rebalances"] == 1
+
+        state2 = ClusterState(build_cluster(32, machines_per_rack=4), constraints)
+        restored.restore(state2, payload)
+        assert restored._bounds == rebalanced
+        assert restored.rebalances == 1
+        # The restored layout still produces serial-identical plans.
+        machines, _, _ = restored.plan_block(
+            state2, np.array([1.0, 1.0]), 0, 3, None
+        )
+        ref = ClusterState(build_cluster(32, machines_per_rack=4), constraints)
+        expected = _serial_plan(ref, np.array([1.0, 1.0]), 0, 3, None)
+        assert machines.tolist() == expected.tolist()
+    finally:
+        sweep.close()
+        restored.close()
+
+
+def test_scheduler_rebalance_shards_is_opt_in():
+    apps = [Application(app_id=0, n_containers=6, cpu=2.0, mem_gb=4.0)]
+    constraints = ConstraintSet.from_applications(apps)
+    off = AladdinScheduler(AladdinConfig(workers=2))
+    on = AladdinScheduler(AladdinConfig(workers=2, shard_rebalance=True))
+    serial = AladdinScheduler()
+    try:
+        states = [
+            ClusterState(build_cluster(32, machines_per_rack=4), constraints)
+            for _ in range(3)
+        ]
+        batch = containers_of(apps)
+        rounds = [
+            e.schedule(list(batch), s)
+            for e, s in zip((off, on, serial), states)
+        ]
+        assert rounds[0].placements == rounds[2].placements
+        assert rounds[1].placements == rounds[2].placements
+        # Gating: disabled config refuses, enabled one answers honestly.
+        assert off.rebalance_shards(states[0]) is False
+        assert off.parallel.rebalances == 0
+        on.rebalance_shards(states[1])
+        # Whatever the verdict, the next round still matches serial.
+        more = containers_of(apps, start_id=100)
+        again = [
+            e.schedule(list(more), s)
+            for e, s in zip((off, on, serial), states)
+        ]
+        assert again[0].placements == again[2].placements
+        assert again[1].placements == again[2].placements
+        # Serial engines expose the hook too, as a no-op.
+        assert serial.rebalance_shards(states[2]) is False
+    finally:
+        off.close()
+        on.close()
+        serial.close()
 
 
 # ----------------------------------------------------------------------

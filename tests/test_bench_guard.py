@@ -8,7 +8,7 @@ and refuses an explicit ``--out BENCH_fig12.json`` unless forced.
 
 import pytest
 
-from benchmarks.bench_report import resolve_out
+from benchmarks.bench_report import host_info, resolve_out
 
 
 def test_full_run_defaults_to_committed_path():
@@ -57,10 +57,32 @@ def test_rescue_mode_defaults():
     )
 
 
+def test_solver_mode_defaults():
+    assert (
+        resolve_out(None, smoke=False, force=False, mode="solver")
+        == "BENCH_solver.json"
+    )
+    assert (
+        resolve_out(None, smoke=True, force=False, mode="solver")
+        == "BENCH_solver_smoke.json"
+    )
+
+
 def test_smoke_refuses_either_committed_artefact():
     # The guard is mode-independent: a rescue smoke run must not
     # clobber the fig12 artefact and vice versa.
-    for name in ("BENCH_rescue.json", "BENCH_fig12.json"):
-        for mode in ("fig12", "rescue"):
+    for name in ("BENCH_rescue.json", "BENCH_fig12.json", "BENCH_solver.json"):
+        for mode in ("fig12", "rescue", "solver"):
             with pytest.raises(SystemExit, match="refusing to overwrite"):
                 resolve_out(name, smoke=True, force=False, mode=mode)
+
+
+def test_host_info_stamps_provenance():
+    # Every committed BENCH_*.json header must say what it was measured
+    # on: CPU budget, platform, interpreter and git revision.
+    info = host_info()
+    assert set(info) == {"cpu_count", "platform", "python", "git_rev"}
+    assert isinstance(info["cpu_count"], int) and info["cpu_count"] >= 1
+    assert info["platform"]
+    # In a checkout the revision resolves; outside one it is None.
+    assert info["git_rev"] is None or len(info["git_rev"]) >= 7

@@ -8,6 +8,8 @@
 * Fig. 7 — rescheduling with two-dimensional resources.
 """
 
+import importlib.util
+
 import numpy as np
 import pytest
 
@@ -58,6 +60,10 @@ class TestFigure1:
         assert result.n_undeployed == 1
         assert state.anti_affinity_violations() == 0
 
+    @pytest.mark.skipif(
+        importlib.util.find_spec("scipy") is None,
+        reason="exact MILP baseline needs the solver extra (scipy)",
+    )
     def test_medea_tolerates_a_violation(self):
         """Fig. 1(c): the exact weighted ILP with a non-zero tolerance
         weight deploys all three containers by co-locating S0 with an
