@@ -474,6 +474,7 @@ def resolve_out(out: str | None, smoke: bool, force: bool, mode: str = "fig12") 
         "restore": "BENCH_restore.json",
         "serve": "BENCH_serve.json",
         "solver": "BENCH_solver.json",
+        "trace": "BENCH_trace.json",
     }
     if out is None:
         base = committed[mode]
@@ -492,7 +493,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--mode",
                         choices=("fig12", "rescue", "restore", "serve",
-                                 "solver"),
+                                 "solver", "trace"),
                         default="fig12",
                         help="fig12: cumulative ablation trajectory; "
                              "rescue: tight-cluster rescue-path kernel "
@@ -502,7 +503,10 @@ def main(argv: list[str] | None = None) -> int:
                              "SLO load against the async placement "
                              "service (req/s, p50/p99 decision latency); "
                              "solver: LP window engine vs SPFA and the "
-                             "batch kernel at 4k/12k machines")
+                             "batch kernel at 4k/12k machines; trace: "
+                             "Azure-scenario sweep (diurnal/burst/churn-"
+                             "storm/mixed-lla vs the LLA-only baseline) "
+                             "across the cache/batch/workers axes")
     parser.add_argument("--scale", type=float, default=0.05,
                         help="trace scale (default 0.05 -> 4000 machines "
                              "under the default pool factor)")
@@ -540,6 +544,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="solver mode: trace scales (0.05/0.15 under "
                              "the default pool factor -> 4,000 and "
                              "12,000 machines)")
+    parser.add_argument("--trace-ticks", type=int, default=48,
+                        help="trace mode: tick bins the Azure day is "
+                             "folded into (default 48 -> 30-minute "
+                             "ticks)")
+    parser.add_argument("--n-functions", type=int, default=160,
+                        help="trace mode: synthetic-fallback dataset "
+                             "size")
     parser.add_argument("--serve-pool-factor", type=float, default=20.0,
                         help="serve mode machine pool factor (20.0 puts "
                              "the default 0.05-scale trace at 10,000 "
@@ -561,9 +572,19 @@ def main(argv: list[str] | None = None) -> int:
         args.n_apps, args.churn_ticks = 80, 6
         args.duration, args.clients = 2.0, 4
         args.solver_scales, args.window_sizes = (0.02,), (32,)
+        args.trace_ticks, args.n_functions = 16, 64
+        if args.mode == "trace":
+            args.scale = 0.01
     out = resolve_out(args.out, args.smoke, args.force, mode=args.mode)
 
-    if args.mode == "solver":
+    if args.mode == "trace":
+        from benchmarks.bench_trace import run_trace_report
+
+        report = run_trace_report(
+            args.scale, args.seed, args.trace_ticks, args.repeats,
+            n_functions=args.n_functions,
+        )
+    elif args.mode == "solver":
         from benchmarks.bench_solver import run_solver_report
 
         report = run_solver_report(

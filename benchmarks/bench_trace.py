@@ -1,0 +1,174 @@
+"""Azure-trace scenario sweep: the serverless workload ablation.
+
+Runs every scenario family of :mod:`repro.trace.scenarios` — built on
+the seeded synthetic fallback, so the benchmark needs nothing on disk —
+through the Aladdin optimisation axes (full stack, no cross-round
+cache, no batch kernel, sharded workers) and commits the result as
+``BENCH_trace.json``.  Two claims are asserted, not just reported:
+
+* **decision parity** — the cache/batch/workers axes are semantically
+  transparent, so every variant's decision signature (per-tick
+  arrived/departed/running/used-machines/failures/migrations/violations
+  plus the run totals) must be identical per scenario;
+* **the churn-storm story** — the report carries an ``lla-only`` row
+  (the synthetic Alibaba-style workload at the same scale) so the
+  committed numbers show what orders-of-magnitude-higher churn does to
+  the feasibility cache's hit rate (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro import AladdinConfig, AladdinScheduler, generate_trace
+from repro.sim import OnlineConfig, OnlineSimulator
+from repro.trace import SCENARIOS, build_scenario
+
+#: optimisation axes swept per scenario
+TRACE_VARIANTS: dict[str, AladdinConfig] = {
+    "full": AladdinConfig(),
+    "no-cache": AladdinConfig(enable_feasibility_cache=False),
+    "no-batch": AladdinConfig(enable_batch_kernel=False),
+    "workers2": AladdinConfig(workers=2),
+}
+
+
+def decision_signature(result) -> tuple:
+    """Everything a semantically-transparent optimisation must preserve."""
+    return (
+        result.total_arrived,
+        result.total_departed,
+        result.total_failed,
+        result.total_migrations,
+        tuple(
+            (
+                s.tick,
+                s.arrived_containers,
+                s.departed_containers,
+                s.running_containers,
+                s.pending_failures,
+                s.used_machines,
+                s.migrations,
+                s.violations,
+            )
+            for s in result.samples
+        ),
+    )
+
+
+def _measure(trace, cfg: OnlineConfig, variant: AladdinConfig, repeats: int) -> dict:
+    sim = OnlineSimulator(trace, cfg)
+    runs = [sim.run(AladdinScheduler(variant)) for _ in range(repeats)]
+    best = min(runs, key=lambda r: r.total_elapsed_s)
+    tele = best.telemetry
+    busy_ticks = sum(1 for s in best.samples if s.arrived_containers)
+    return {
+        "wall_time_ms": round(best.total_elapsed_s * 1000, 2),
+        "arrived": best.total_arrived,
+        "departed": best.total_departed,
+        "failed": best.total_failed,
+        "migrations": best.total_migrations,
+        "peak_used_machines": best.peak_used_machines,
+        "busy_ticks": busy_ticks,
+        "churn_per_busy_tick": (
+            round((best.total_arrived + best.total_departed) / busy_ticks, 1)
+            if busy_ticks else 0.0
+        ),
+        "machines_examined": sum(s.explored for s in best.samples),
+        "cache_hits": tele.cache_hits,
+        "cache_misses": tele.cache_misses,
+        "cache_hit_rate": round(tele.cache_hit_rate, 4),
+        "batch_kernel_invocations": tele.batch_kernel_invocations,
+        "parallel_sweeps": tele.parallel_sweeps,
+        "_signature": decision_signature(best),
+    }
+
+
+def run_trace_report(
+    scale: float,
+    seed: int,
+    ticks: int,
+    repeats: int,
+    scenarios: tuple[str, ...] = (),
+    variants: tuple[str, ...] = (),
+    n_functions: int = 160,
+) -> dict:
+    """Sweep scenarios × optimisation axes; assert per-scenario parity."""
+    scenario_names = list(scenarios) or sorted(SCENARIOS)
+    variant_names = list(variants) or list(TRACE_VARIANTS)
+    report: dict = {
+        "figure": "Azure-trace scenarios (serverless churn ablation)",
+        "setup": {
+            "scale": scale,
+            "seed": seed,
+            "ticks": ticks,
+            "repeats": repeats,
+            "n_functions": n_functions,
+            "dataset": f"synthetic-fallback:seed={seed}",
+            "scenarios": scenario_names,
+            "variants": variant_names,
+        },
+        "scenarios": {},
+    }
+
+    workloads: dict[str, tuple] = {}
+    for name in scenario_names:
+        trace = build_scenario(
+            name, scale=scale, seed=seed, ticks=ticks, n_functions=n_functions
+        )
+        cfg = OnlineConfig(seed=seed, scenario=name)
+        workloads[name] = (trace, cfg)
+    # The LLA-only baseline: the synthetic Alibaba-style generator at
+    # the same scale, which is what every pre-trace benchmark measured.
+    lla_trace = generate_trace(scale=scale, seed=seed)
+    workloads["lla-only"] = (
+        lla_trace,
+        OnlineConfig(ticks=ticks, seed=seed),
+    )
+
+    for name, (trace, cfg) in workloads.items():
+        rows: dict[str, dict] = {}
+        for vname in variant_names:
+            rows[vname] = _measure(trace, cfg, TRACE_VARIANTS[vname], repeats)
+            r = rows[vname]
+            print(
+                f"{name:>12} / {vname:<9}: {r['wall_time_ms']:8.1f} ms, "
+                f"arrived {r['arrived']:>6}, churn/tick "
+                f"{r['churn_per_busy_tick']:>7}, cache "
+                f"{r['cache_hit_rate']:.1%}"
+            )
+        signatures = {v: rows[v].pop("_signature") for v in rows}
+        baseline = signatures[variant_names[0]]
+        diverged = [v for v, sig in signatures.items() if sig != baseline]
+        if diverged:
+            raise SystemExit(
+                f"scenario {name}: variants {diverged} diverged from "
+                f"{variant_names[0]} — the optimisation axes must be "
+                "semantically transparent"
+            )
+        report["scenarios"][name] = {
+            "n_apps": trace.n_apps,
+            "n_containers": trace.n_containers,
+            "n_machines": trace.config.n_machines,
+            "decisions_identical": True,
+            "variants": rows,
+        }
+
+    storm = report["scenarios"].get("churn-storm")
+    lla = report["scenarios"].get("lla-only")
+    if storm and lla:
+        report["churn_storm_vs_lla_only"] = {
+            "churn_per_busy_tick": [
+                storm["variants"]["full"]["churn_per_busy_tick"],
+                lla["variants"]["full"]["churn_per_busy_tick"],
+            ],
+            "cache_hit_rate": [
+                storm["variants"]["full"]["cache_hit_rate"],
+                lla["variants"]["full"]["cache_hit_rate"],
+            ],
+        }
+        print(
+            "churn-storm vs lla-only: churn/tick "
+            f"{report['churn_storm_vs_lla_only']['churn_per_busy_tick']}, "
+            "cache hit rate "
+            f"{report['churn_storm_vs_lla_only']['cache_hit_rate']}"
+        )
+    return report

@@ -27,6 +27,7 @@ from repro.core import AladdinConfig, AladdinScheduler
 from repro.report import format_series, format_table, metrics_table
 from repro.sim import Simulator, minimum_cluster_size
 from repro.trace import (
+    SCENARIOS,
     ArrivalOrder,
     generate_trace,
     load_trace,
@@ -60,6 +61,48 @@ def _trace_from(args) -> object:
 
 def _order_from(args) -> ArrivalOrder:
     return ArrivalOrder(args.order)
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    """The workload-source flags shared by ``online`` and ``serve``."""
+    parser.add_argument("--trace", dest="trace_source", default="synthetic",
+                        choices=["synthetic", "azure"],
+                        help="workload source: the calibrated Alibaba-style "
+                             "generator (default) or the Azure Functions "
+                             "2019 serverless trace (see docs/WORKLOADS.md)")
+    parser.add_argument("--scenario", default=None,
+                        choices=sorted(SCENARIOS),
+                        help="scenario family for --trace azure "
+                             "(default: diurnal)")
+    parser.add_argument("--azure-data", metavar="DIR", default=None,
+                        help="directory holding the Azure Functions 2019 "
+                             "CSVs; omitted = the seeded synthetic "
+                             "fallback, so no download is ever required")
+
+
+def _workload_trace(args) -> tuple[object, str | None]:
+    """(trace, scenario name or None) from the workload flags."""
+    if getattr(args, "trace_source", "synthetic") != "azure":
+        if getattr(args, "scenario", None):
+            print("--scenario requires --trace azure", file=sys.stderr)
+            raise SystemExit(2)
+        return _trace_from(args), None
+    from repro.trace import TraceConfig, azure_dataset, build_scenario
+
+    scenario = args.scenario or "diurnal"
+    if args.load:
+        # A saved scenario trace is self-describing (arrival plan in
+        # the names); only the nominal cluster scale must be re-attached.
+        trace = load_trace(
+            args.load, config=TraceConfig(scale=args.scale, seed=args.seed)
+        )
+    else:
+        dataset = azure_dataset(args.azure_data, seed=args.seed)
+        trace = build_scenario(
+            scenario, dataset,
+            scale=args.scale, seed=args.seed, ticks=args.ticks,
+        )
+    return trace, scenario
 
 
 # ----------------------------------------------------------------------
@@ -128,17 +171,21 @@ def cmd_min_cluster(args) -> int:
 def cmd_online(args) -> int:
     from repro.sim.online import OnlineConfig, OnlineSimulator
 
-    trace = _trace_from(args)
+    trace, scenario = _workload_trace(args)
     factories = _scheduler_factories()
     if args.scheduler not in factories:
         print(f"unknown scheduler {args.scheduler}", file=sys.stderr)
         return 2
+    if scenario is not None:
+        print(f"workload: azure scenario={scenario} "
+              f"({trace.n_apps} apps, {trace.n_containers} containers)")
     sim = OnlineSimulator(
         trace,
         OnlineConfig(
             ticks=args.ticks,
             arrival_order=_order_from(args),
             seed=args.seed,
+            scenario=scenario,
         ),
     )
     scheduler = _aladdin_variant(args, factories)
@@ -214,7 +261,7 @@ def cmd_serve(args) -> int:
     from repro.serve import PlacementServer, ServeConfig
     from repro.sim.online import OnlineConfig, pool_topology
 
-    trace = _trace_from(args)
+    trace, scenario = _workload_trace(args)
     factories = _scheduler_factories()
     if args.scheduler not in factories:
         print(f"unknown scheduler {args.scheduler}", file=sys.stderr)
@@ -225,6 +272,7 @@ def cmd_serve(args) -> int:
         arrival_order=_order_from(args),
         seed=args.seed,
         machine_pool_factor=args.pool_factor,
+        scenario=scenario,
     )
     topology = pool_topology(trace, online_cfg)
     serve_cfg = ServeConfig(
@@ -385,6 +433,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("online", help="arrival/departure churn simulation")
     _add_trace_args(p)
+    _add_workload_args(p)
     p.add_argument("--scheduler", default="Aladdin")
     p.add_argument("--ticks", type=int, default=50)
     p.add_argument("--order", default="trace",
@@ -411,6 +460,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("serve",
                        help="serve live placement requests over a socket")
     _add_trace_args(p)
+    _add_workload_args(p)
     p.add_argument("--socket", required=True, metavar="PATH",
                    help="unix socket path to serve on (keep it short: "
                         "the OS caps socket paths at ~100 chars)")

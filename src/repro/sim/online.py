@@ -66,6 +66,13 @@ class OnlineConfig:
         RNG seed for lifetimes.
     machine_pool_factor:
         Headroom over the trace's nominal cluster.
+    scenario:
+        When set (a :data:`repro.trace.scenarios.SCENARIOS` family
+        name), the arrival/lifetime plan is decoded from the scenario
+        trace's application names instead of being sampled — see
+        :func:`repro.trace.scenarios.scenario_schedule`.  ``ticks``,
+        ``lifetime_ticks`` and ``arrival_order`` are ignored in that
+        mode (the scenario trace pins all three).
     """
 
     ticks: int = 50
@@ -73,6 +80,7 @@ class OnlineConfig:
     arrival_order: ArrivalOrder = ArrivalOrder.TRACE
     seed: int = 0
     machine_pool_factor: float = 1.2
+    scenario: str | None = None
 
     def __post_init__(self) -> None:
         if self.ticks < 1:
@@ -220,7 +228,17 @@ class ArrivalSchedule:
 
 
 def arrival_schedule(trace: Trace, config: OnlineConfig) -> ArrivalSchedule:
-    """Recompute the seeded arrival/lifetime plan for ``trace``."""
+    """Recompute the seeded arrival/lifetime plan for ``trace``.
+
+    Scenario runs (``config.scenario`` set) decode the plan from the
+    trace's application names instead — both paths are deterministic,
+    which is what lets checkpoint restore and the serving replay
+    client recompute the schedule rather than persist it.
+    """
+    if config.scenario is not None:
+        from repro.trace.scenarios import scenario_schedule
+
+        return scenario_schedule(trace, config)
     rng = np.random.default_rng(config.seed)
     apps = order_applications(trace, config.arrival_order)
     arrival_tick = np.sort(rng.integers(0, config.ticks, len(apps)))
@@ -378,6 +396,7 @@ class OnlineSimulator:
             "arrival_order": cfg.arrival_order.value,
             "seed": cfg.seed,
             "machine_pool_factor": cfg.machine_pool_factor,
+            "scenario": cfg.scenario,
             "scheduler": scheduler.name,
         }
 

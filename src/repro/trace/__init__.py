@@ -14,6 +14,11 @@ about that trace (Fig. 8 and the surrounding text); see
   characteristics of Section V.C/V.D (CHP, CLP, CLA, CSA).
 * :mod:`~repro.trace.loader` — CSV round-trip.
 * :mod:`~repro.trace.stats` — the Fig. 8 workload statistics.
+* :mod:`~repro.trace.azure` — the Azure Functions 2019 real-trace
+  front-end (parser + cache + seeded synthetic fallback).
+* :mod:`~repro.trace.scenarios` — named serverless scenario families
+  (``diurnal`` / ``burst`` / ``churn-storm`` / ``mixed-lla``) built on
+  the Azure curves; see docs/WORKLOADS.md.
 """
 
 from repro.trace.schema import Trace, TraceConfig
@@ -22,6 +27,21 @@ from repro.trace.arrival import ArrivalOrder, anti_affinity_degree, order_contai
 from repro.trace.loader import load_trace, save_trace
 from repro.trace.stats import WorkloadStats, workload_stats
 from repro.trace.alibaba import load_alibaba_trace, load_container_meta
+from repro.trace.azure import (
+    AzureDataset,
+    AzureFunction,
+    AzureTraceError,
+    azure_dataset,
+    load_azure_dataset,
+    synthetic_azure_dataset,
+)
+from repro.trace.scenarios import (
+    SCENARIOS,
+    ScenarioConfig,
+    build_scenario,
+    scenario_config,
+    scenario_schedule,
+)
 
 __all__ = [
     "Trace",
@@ -36,4 +56,15 @@ __all__ = [
     "workload_stats",
     "load_alibaba_trace",
     "load_container_meta",
+    "AzureDataset",
+    "AzureFunction",
+    "AzureTraceError",
+    "azure_dataset",
+    "load_azure_dataset",
+    "synthetic_azure_dataset",
+    "SCENARIOS",
+    "ScenarioConfig",
+    "build_scenario",
+    "scenario_config",
+    "scenario_schedule",
 ]

@@ -73,33 +73,54 @@ def load_trace(stem: str | Path, config: TraceConfig | None = None) -> Trace:
 
     conflicts: dict[int, set[int]] = {}
     with conflicts_path.open(newline="") as fh:
-        for row in csv.DictReader(fh):
-            a, b = int(row["app_a"]), int(row["app_b"])
+        for line, row in enumerate(csv.DictReader(fh), start=2):
+            try:
+                a, b = int(row["app_a"]), int(row["app_b"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"{conflicts_path.name}:{line}: garbled conflict row "
+                    f"{row!r}"
+                ) from exc
             conflicts.setdefault(a, set()).add(b)
             conflicts.setdefault(b, set()).add(a)
 
     apps: list[Application] = []
     with apps_path.open(newline="") as fh:
-        for row in csv.DictReader(fh):
-            app_id = int(row["app_id"])
-            apps.append(
-                Application(
-                    app_id=app_id,
-                    n_containers=int(row["n_containers"]),
-                    cpu=float(row["cpu"]),
-                    mem_gb=float(row["mem_gb"]),
-                    priority=int(row["priority"]),
-                    anti_affinity_within=bool(int(row["anti_affinity_within"])),
-                    anti_affinity_scope=row.get("anti_affinity_scope")
-                    or "machine",
-                    conflicts=frozenset(conflicts.get(app_id, ())),
-                    affinities=frozenset(
-                        int(a)
-                        for a in (row.get("affinities") or "").split()
-                    ),
-                    name=row["name"],
+        for line, row in enumerate(csv.DictReader(fh), start=2):
+            # csv.DictReader maps short rows to None values; a truncated
+            # or garbled row must name its line, not surface as a bare
+            # int()/float() error from deep inside the parse.
+            try:
+                app_id = int(row["app_id"])
+                apps.append(
+                    Application(
+                        app_id=app_id,
+                        n_containers=int(row["n_containers"]),
+                        cpu=float(row["cpu"]),
+                        mem_gb=float(row["mem_gb"]),
+                        priority=int(row["priority"]),
+                        anti_affinity_within=bool(
+                            int(row["anti_affinity_within"])
+                        ),
+                        anti_affinity_scope=row.get("anti_affinity_scope")
+                        or "machine",
+                        conflicts=frozenset(conflicts.get(app_id, ())),
+                        affinities=frozenset(
+                            int(a)
+                            for a in (row.get("affinities") or "").split()
+                        ),
+                        name=row.get("name") or "",
+                    )
                 )
-            )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"{apps_path.name}:{line}: truncated or garbled "
+                    f"application row: {exc}"
+                ) from exc
+    if not apps:
+        raise ValueError(
+            f"{apps_path.name}: no application rows (empty trace)"
+        )
     apps.sort(key=lambda a: a.app_id)
     for i, app in enumerate(apps):
         if app.app_id != i:

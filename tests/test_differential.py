@@ -720,3 +720,189 @@ def test_served_replay_is_deterministic():
     first = _served_canonical(AladdinScheduler, trace, cfg)
     second = _served_canonical(AladdinScheduler, trace, cfg)
     assert first == second
+
+
+# ----------------------------------------------------------------------
+# Azure-fallback scenario workloads: the serverless churn differential
+#
+# The scenario families of repro.trace.scenarios put orders of magnitude
+# more arrival/departure churn through the engines than the LLA-only
+# stream above — short-lived function containers cycling every few
+# ticks over a resident constrained-LLA base.  Every bit-identity
+# contract proven on the synthetic trace must hold here too, on a
+# workload whose schedule is decoded from application names rather than
+# sampled from the config seed.
+# ----------------------------------------------------------------------
+_SCENARIO_FAMILIES = ["diurnal", "burst", "churn-storm", "mixed-lla"]
+_SCENARIO_CACHE: dict = {}
+
+
+def _scenario_workload(seed):
+    """(trace, OnlineConfig) for one tiny azure-fallback scenario.
+
+    Seeds rotate through the four families, so a 20-seed sweep covers
+    every family five times on five different fallback datasets.
+    """
+    from repro.sim.online import OnlineConfig
+    from repro.trace import build_scenario
+
+    name = _SCENARIO_FAMILIES[seed % len(_SCENARIO_FAMILIES)]
+    key = (name, seed)
+    if key not in _SCENARIO_CACHE:
+        _SCENARIO_CACHE[key] = build_scenario(
+            name, scale=0.005, seed=seed, ticks=10, n_functions=40,
+            lla_lifetime=(6, 16),
+        )
+    return _SCENARIO_CACHE[key], OnlineConfig(seed=seed, scenario=name)
+
+
+def scenario_churn_replay(seed, make_engines):
+    """Drive engine variants through one identical scenario stream.
+
+    Same per-tick contract as ``churn_replay`` — identical placements,
+    identical failure verdicts, indistinguishable states — but the
+    stream is the scenario's name-encoded arrival/departure plan
+    instead of a randomized one.
+    """
+    from repro.sim.online import arrival_schedule, pool_topology
+
+    trace, cfg = _scenario_workload(seed)
+    sched = arrival_schedule(trace, cfg)
+    engines = make_engines()
+    states = [
+        ClusterState(pool_topology(trace, cfg), trace.constraints)
+        for _ in engines
+    ]
+    try:
+        departures: dict[int, list[int]] = {}
+        idx = 0
+        for tick in range(sched.horizon):
+            for cid in departures.pop(tick, ()):
+                for state in states:
+                    if cid in state.assignment:
+                        state.evict(cid)
+            batch = []
+            while idx < len(sched.apps) and sched.arrival_tick[idx] <= tick:
+                batch.extend(sched.by_app[sched.apps[idx].app_id])
+                idx += 1
+            if batch:
+                rounds = [
+                    engine.schedule(list(batch), state)
+                    for engine, state in zip(engines, states)
+                ]
+                first = rounds[0]
+                for other in rounds[1:]:
+                    assert other.placements == first.placements, (
+                        f"placements diverged at tick {tick}"
+                    )
+                    assert other.undeployed == first.undeployed, (
+                        f"failure verdicts diverged at tick {tick}"
+                    )
+                for c in batch:
+                    if c.container_id in first.placements:
+                        end = tick + sched.life_of[c.app_id]
+                        departures.setdefault(end, []).append(c.container_id)
+            assert_states_agree(states, tick)
+            if idx >= len(sched.apps) and not departures:
+                break
+        return engines
+    finally:
+        for engine in engines:
+            close = getattr(engine, "close", None)
+            if callable(close):
+                close()
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_azure_scenario_cached_matches_cold(seed):
+    """20 azure-fallback scenario replays (every family × five seeds):
+    the cached engine and its cold twin agree on every placement at
+    every tick of the serverless churn, and the cache is demonstrably
+    in play on the cached side only."""
+    cached, cold = scenario_churn_replay(seed, aladdin_pair)
+    assert cached.feas_cache.hits > 0, "scenario replay never hit the cache"
+    assert cold.feas_cache.hits == 0, "cold engine must not touch its cache"
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_azure_scenario_batched_matches_loop(seed):
+    """The batched×loop axis holds on every scenario family too."""
+    batched, loop = scenario_churn_replay(seed, aladdin_batch_pair)
+    assert batched.batch_placed > 0
+    assert loop.batch_placed == 0
+
+
+@pytest.mark.parametrize("seed", [1, 2])
+def test_azure_scenario_parallel_matches_serial(seed):
+    """The workers axis holds under serverless churn."""
+    serial, parallel = scenario_churn_replay(seed, aladdin_parallel_pair)
+    assert parallel.parallel is not None and parallel.parallel.sweeps > 0
+    assert serial.parallel is None
+
+
+@pytest.mark.parametrize("name", ["diurnal", "churn-storm"])
+def test_azure_scenario_served_matches_simulated(name):
+    """A served scenario replay is bit-identical to the simulated run:
+    the replay client recomputes the name-encoded schedule through the
+    same ``arrival_schedule`` dispatch the simulator uses."""
+    from repro.sim.online import OnlineConfig, OnlineSimulator
+    from repro.trace import build_scenario
+
+    trace = build_scenario(
+        name, scale=0.005, seed=2, ticks=10, n_functions=40,
+        lla_lifetime=(6, 16),
+    )
+    cfg = OnlineConfig(seed=2, scenario=name)
+    simulated = (
+        OnlineSimulator(trace, cfg).run(AladdinScheduler()).canonical_json()
+    )
+    served = _served_canonical(AladdinScheduler, trace, cfg)
+    assert served == simulated
+
+
+@pytest.mark.parametrize("seed", [0, 5, 10, 15])
+def test_azure_scenario_checkpoint_resume_bit_identical(seed, tmp_path):
+    """A scenario run killed after a checkpoint and restored finishes
+    bit-identical: the restore path re-decodes the schedule from the
+    trace names, and the fingerprint pins the scenario."""
+    from repro.sim.online import OnlineSimulator
+
+    trace, cfg = _scenario_workload(seed)
+    full = OnlineSimulator(trace, cfg).run(AladdinScheduler()).canonical_json()
+
+    path = str(tmp_path / f"scn-{seed}.bin")
+
+    def crash(tick, _path):
+        raise _Interrupt
+
+    with pytest.raises(_Interrupt):
+        OnlineSimulator(trace, cfg).run(
+            AladdinScheduler(), checkpoint_every=4, checkpoint_path=path,
+            on_checkpoint=crash,
+        )
+    resumed = (
+        OnlineSimulator(trace, cfg)
+        .run(AladdinScheduler(), restore_from=path)
+        .canonical_json()
+    )
+    assert resumed == full
+
+
+def test_azure_scenario_fingerprint_rejects_other_scenario(tmp_path):
+    """A snapshot from one scenario must not restore into another."""
+    from repro.cluster.snapshot import SnapshotError
+    from repro.sim.online import OnlineConfig, OnlineSimulator
+    from repro.trace import build_scenario
+
+    trace = build_scenario(
+        "diurnal", scale=0.005, seed=0, ticks=10, n_functions=40,
+        lla_lifetime=(6, 16),
+    )
+    path = str(tmp_path / "fp.bin")
+    OnlineSimulator(trace, OnlineConfig(seed=0, scenario="diurnal")).run(
+        AladdinScheduler(), checkpoint_every=4, checkpoint_path=path
+    )
+    with pytest.raises(SnapshotError, match="fingerprint"):
+        OnlineSimulator(trace, OnlineConfig(seed=0, scenario="burst")).run(
+            AladdinScheduler(), restore_from=path
+        )

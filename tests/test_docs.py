@@ -1,7 +1,8 @@
 """Documentation snippets must execute (ISSUE 3 satellite).
 
-Extracts every fenced ```python block from README.md and
-docs/ARCHITECTURE.md, concatenates each file's blocks in order (later
+Extracts every fenced ```python block from README.md,
+docs/ARCHITECTURE.md and docs/WORKLOADS.md, concatenates each file's
+blocks in order (later
 snippets may build on earlier ones), and runs them in a fresh
 interpreter with ``PYTHONPATH=src`` — the same environment a reader
 copy-pasting from the docs would have.  A doc example that drifts from
@@ -25,7 +26,7 @@ def python_blocks(path: Path) -> list[str]:
 
 
 @pytest.mark.parametrize(
-    "relpath", ["README.md", "docs/ARCHITECTURE.md"]
+    "relpath", ["README.md", "docs/ARCHITECTURE.md", "docs/WORKLOADS.md"]
 )
 def test_doc_snippets_execute(relpath):
     path = REPO / relpath
@@ -56,3 +57,11 @@ def test_architecture_doc_is_linked():
     assert (REPO / "docs" / "ARCHITECTURE.md").exists()
     assert "docs/ARCHITECTURE.md" in (REPO / "README.md").read_text()
     assert "ARCHITECTURE.md" in (REPO / "docs" / "ALGORITHMS.md").read_text()
+
+
+def test_workloads_doc_is_linked():
+    """The workloads doc exists and is reachable from the README and
+    the architecture module map."""
+    assert (REPO / "docs" / "WORKLOADS.md").exists()
+    assert "docs/WORKLOADS.md" in (REPO / "README.md").read_text()
+    assert "WORKLOADS.md" in (REPO / "docs" / "ARCHITECTURE.md").read_text()

@@ -1,0 +1,255 @@
+"""Azure Functions front-end: parser golden/fuzz + fallback determinism."""
+
+import numpy as np
+import pytest
+
+from repro.trace.azure import (
+    DEFAULT_DURATION_MS,
+    DEFAULT_MEMORY_MB,
+    MINUTES_PER_DAY,
+    AzureDataset,
+    AzureFunction,
+    AzureTraceError,
+    azure_dataset,
+    load_azure_dataset,
+    load_durations,
+    load_invocations,
+    load_memory,
+    synthetic_azure_dataset,
+)
+
+MINUTE_COLS = ",".join(str(m) for m in range(1, MINUTES_PER_DAY + 1))
+
+
+def write_invocations(path, rows):
+    """Rows: (owner, app, function, trigger, counts-list-or-string)."""
+    lines = [f"HashOwner,HashApp,HashFunction,Trigger,{MINUTE_COLS}"]
+    for owner, app, fn, trig, counts in rows:
+        if isinstance(counts, str):
+            tail = counts
+        else:
+            tail = ",".join(str(c) for c in counts)
+        lines.append(f"{owner},{app},{fn},{trig},{tail}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def dataset_dir(tmp_path, day=1):
+    """A minimal real-format dataset directory with two functions."""
+    root = tmp_path / "azure"
+    root.mkdir()
+    counts_a = [0] * MINUTES_PER_DAY
+    counts_a[0], counts_a[719], counts_a[1439] = 3, 7, 1
+    counts_b = [1] * MINUTES_PER_DAY
+    write_invocations(
+        root / f"invocations_per_function_md.anon.d{day:02d}.csv",
+        [
+            ("o1", "a1", "f1", "http", counts_a),
+            ("o1", "a1", "f2", "timer", counts_b),
+        ],
+    )
+    (root / f"function_durations_percentiles.anon.d{day:02d}.csv").write_text(
+        "HashOwner,HashApp,HashFunction,Average,Count,Minimum,Maximum\n"
+        "o1,a1,f1,250.5,11,1,900\n"
+    )
+    (root / f"app_memory_percentiles.anon.d{day:02d}.csv").write_text(
+        "HashOwner,HashApp,SampleCount,AverageAllocatedMb\n"
+        "o1,a1,4,312.0\n"
+    )
+    return root
+
+
+class TestRealParser:
+    def test_golden_parse(self, tmp_path):
+        ds = load_azure_dataset(dataset_dir(tmp_path))
+        assert ds.n_functions == 2
+        f1 = next(f for f in ds.functions if f.function == "f1")
+        f2 = next(f for f in ds.functions if f.function == "f2")
+        assert f1.trigger == "http" and f1.daily_invocations == 11
+        assert f1.invocations[0] == 3 and f1.invocations[719] == 7
+        assert f1.duration_ms == 250.5
+        # memory joins at (owner, app) granularity -> both functions
+        assert f1.memory_mb == 312.0 and f2.memory_mb == 312.0
+        # f2 has no duration row -> published-median default
+        assert f2.duration_ms == DEFAULT_DURATION_MS
+        assert ds.source.startswith("azure-2019:")
+
+    def test_duration_memory_files_optional(self, tmp_path):
+        root = dataset_dir(tmp_path)
+        (root / "function_durations_percentiles.anon.d01.csv").unlink()
+        (root / "app_memory_percentiles.anon.d01.csv").unlink()
+        ds = load_azure_dataset(root, cache=False)
+        assert all(f.duration_ms == DEFAULT_DURATION_MS for f in ds.functions)
+        assert all(f.memory_mb == DEFAULT_MEMORY_MB for f in ds.functions)
+
+    def test_missing_invocations_file_raises(self, tmp_path):
+        with pytest.raises(AzureTraceError, match="missing"):
+            load_azure_dataset(tmp_path)
+
+    def test_truncated_row_raises_with_line(self, tmp_path):
+        root = dataset_dir(tmp_path)
+        path = root / "invocations_per_function_md.anon.d01.csv"
+        with path.open("a") as fh:
+            fh.write("o2,a2,f3,queue,1,2,3\n")  # only 3 minute columns
+        with pytest.raises(AzureTraceError, match=r":4: truncated"):
+            load_invocations(path)
+
+    def test_garbled_count_raises_with_context(self, tmp_path):
+        root = tmp_path
+        counts = ["1"] * MINUTES_PER_DAY
+        counts[5] = "oops"
+        path = root / "invocations_per_function_md.anon.d01.csv"
+        write_invocations(path, [("o", "a", "f", "http", ",".join(counts))])
+        with pytest.raises(AzureTraceError, match="garbled minute 6"):
+            load_invocations(path)
+
+    def test_negative_count_raises(self, tmp_path):
+        counts = [0] * MINUTES_PER_DAY
+        counts[3] = -2
+        path = tmp_path / "inv.csv"
+        write_invocations(path, [("o", "a", "f", "http", counts)])
+        with pytest.raises(AzureTraceError, match="negative"):
+            load_invocations(path)
+
+    def test_empty_trace_raises(self, tmp_path):
+        path = tmp_path / "inv.csv"
+        write_invocations(path, [])
+        with pytest.raises(AzureTraceError, match="empty trace"):
+            load_invocations(path)
+
+    def test_missing_header_column_raises(self, tmp_path):
+        path = tmp_path / "inv.csv"
+        path.write_text("HashOwner,HashApp,Trigger\no,a,http\n")
+        with pytest.raises(AzureTraceError, match="header lacks"):
+            load_invocations(path)
+
+    def test_garbled_duration_and_memory(self, tmp_path):
+        dur = tmp_path / "dur.csv"
+        dur.write_text(
+            "HashOwner,HashApp,HashFunction,Average\no,a,f,not-a-number\n"
+        )
+        with pytest.raises(AzureTraceError, match="garbled Average"):
+            load_durations(dur)
+        mem = tmp_path / "mem.csv"
+        mem.write_text("HashOwner,HashApp,AverageAllocatedMb\no,a,-5\n")
+        with pytest.raises(AzureTraceError, match="negative"):
+            load_memory(mem)
+
+
+class TestCache:
+    def test_cache_roundtrip_identical(self, tmp_path):
+        root = dataset_dir(tmp_path)
+        cold = load_azure_dataset(root)  # writes azure_d01.cache.npz
+        assert (root / "azure_d01.cache.npz").exists()
+        warm = load_azure_dataset(root)
+        assert warm.source == cold.source
+        assert warm.n_functions == cold.n_functions
+        for a, b in zip(cold.functions, warm.functions):
+            assert (a.owner, a.app, a.function, a.trigger) == (
+                b.owner, b.app, b.function, b.trigger
+            )
+            assert (a.invocations == b.invocations).all()
+            assert (a.duration_ms, a.memory_mb) == (b.duration_ms, b.memory_mb)
+
+    def test_corrupt_cache_falls_back_to_parse(self, tmp_path):
+        root = dataset_dir(tmp_path)
+        load_azure_dataset(root)
+        (root / "azure_d01.cache.npz").write_bytes(b"not an npz")
+        ds = load_azure_dataset(root)
+        assert ds.n_functions == 2
+
+    def test_cache_disabled_leaves_no_file(self, tmp_path):
+        root = dataset_dir(tmp_path)
+        load_azure_dataset(root, cache=False)
+        assert not (root / "azure_d01.cache.npz").exists()
+
+
+class TestFallback:
+    def test_deterministic_across_calls(self):
+        a = synthetic_azure_dataset(seed=7, n_functions=60)
+        b = synthetic_azure_dataset(seed=7, n_functions=60)
+        for fa, fb in zip(a.functions, b.functions):
+            assert fa.function == fb.function
+            assert (fa.invocations == fb.invocations).all()
+            assert fa.duration_ms == fb.duration_ms
+            assert fa.memory_mb == fb.memory_mb
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_seeds_differ_and_self_agree(self, seed):
+        first = synthetic_azure_dataset(seed=seed, n_functions=40)
+        again = synthetic_azure_dataset(seed=seed, n_functions=40)
+        other = synthetic_azure_dataset(seed=seed + 100, n_functions=40)
+        assert np.array_equal(first.minute_curve(), again.minute_curve())
+        assert not np.array_equal(first.minute_curve(), other.minute_curve())
+
+    def test_published_distribution_shape(self):
+        ds = synthetic_azure_dataset(seed=0, n_functions=400)
+        triggers = [f.trigger for f in ds.functions]
+        # HTTP dominates the trigger mix (ATC '20 Fig. 2).
+        assert triggers.count("http") > triggers.count("timer") > 0
+        daily = np.array([f.daily_invocations for f in ds.functions])
+        # Heavy tail: the busiest function dwarfs the median.
+        assert daily.max() > 50 * max(1, np.median(daily))
+        durations = np.array([f.duration_ms for f in ds.functions])
+        memory = np.array([f.memory_mb for f in ds.functions])
+        assert (durations >= 1.0).all() and (durations <= 600_000.0).all()
+        assert (memory >= 64.0).all() and (memory <= 1536.0).all()
+
+    def test_diurnal_curve_has_peak_and_trough(self):
+        ds = synthetic_azure_dataset(seed=1, n_functions=300)
+        non_timer = [f for f in ds.functions if f.trigger != "timer"]
+        curve = np.sum([f.invocations for f in non_timer], axis=0)
+        # Smooth the minute noise into hourly means before comparing.
+        hourly = curve.reshape(24, 60).mean(axis=1)
+        assert hourly.max() > 1.5 * hourly.min()
+
+    def test_timer_functions_fire_periodically(self):
+        ds = synthetic_azure_dataset(seed=2, n_functions=200)
+        timers = [f for f in ds.functions if f.trigger == "timer"]
+        assert timers
+        for f in timers:
+            fired = np.flatnonzero(f.invocations)
+            if fired.size > 1:
+                gaps = np.diff(fired)
+                assert (gaps == gaps[0]).all()  # metronomic
+
+    def test_n_functions_validated(self):
+        with pytest.raises(AzureTraceError):
+            synthetic_azure_dataset(seed=0, n_functions=0)
+
+
+class TestDispatcher:
+    def test_none_selects_fallback(self):
+        ds = azure_dataset(None, seed=3, n_functions=12)
+        assert ds.source == "synthetic-fallback:seed=3"
+        assert ds.n_functions == 12
+
+    def test_path_without_csvs_raises(self, tmp_path):
+        # A typo'd path must not silently fake a real-trace run.
+        with pytest.raises(AzureTraceError):
+            azure_dataset(tmp_path)
+
+    def test_path_selects_real_data(self, tmp_path):
+        ds = azure_dataset(dataset_dir(tmp_path))
+        assert ds.source.startswith("azure-2019:")
+
+
+class TestDatasetModel:
+    def test_wrong_minute_shape_rejected(self):
+        fn = AzureFunction(
+            owner="o", app="a", function="f", trigger="http",
+            invocations=np.ones(10, dtype=np.int64),
+            duration_ms=100.0, memory_mb=128.0,
+        )
+        with pytest.raises(AzureTraceError, match="minute bins"):
+            AzureDataset(functions=[fn])
+
+    def test_minute_curve_and_top_functions(self):
+        ds = synthetic_azure_dataset(seed=0, n_functions=30)
+        assert ds.minute_curve().shape == (MINUTES_PER_DAY,)
+        assert ds.minute_curve().sum() == ds.total_invocations
+        top = ds.top_functions(5)
+        assert len(top) == 5
+        assert top[0].daily_invocations >= top[-1].daily_invocations
+
+    def test_empty_dataset_curve(self):
+        assert AzureDataset(functions=[]).minute_curve().sum() == 0

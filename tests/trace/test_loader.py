@@ -45,6 +45,66 @@ class TestRoundTrip:
             load_trace(tmp_path / "bad")
 
 
+class TestEdgeCases:
+    def _saved(self, tmp_path):
+        trace = generate_trace(scale=0.02, seed=1)
+        apps_path, conflicts_path = save_trace(trace, tmp_path / "t")
+        return trace, apps_path, conflicts_path
+
+    def test_truncated_app_row_names_its_line(self, tmp_path):
+        _, apps_path, _ = self._saved(tmp_path)
+        lines = apps_path.read_text().splitlines()
+        lines[3] = lines[3].split(",")[0]  # keep only app_id
+        apps_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r"\.apps\.csv:4: truncated"):
+            load_trace(tmp_path / "t")
+
+    def test_garbled_app_row_names_its_line(self, tmp_path):
+        _, apps_path, _ = self._saved(tmp_path)
+        lines = apps_path.read_text().splitlines()
+        parts = lines[5].split(",")
+        parts[2] = "many"  # cpu column
+        lines[5] = ",".join(parts)
+        apps_path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r"\.apps\.csv:6"):
+            load_trace(tmp_path / "t")
+
+    def test_garbled_conflict_row_names_its_line(self, tmp_path):
+        _, _, conflicts_path = self._saved(tmp_path)
+        with conflicts_path.open("a") as fh:
+            fh.write("7,oops\n")
+        with pytest.raises(ValueError, match=r"\.conflicts\.csv.*garbled"):
+            load_trace(tmp_path / "t")
+
+    def test_empty_trace_rejected(self, tmp_path):
+        _, apps_path, _ = self._saved(tmp_path)
+        header = apps_path.read_text().splitlines()[0]
+        apps_path.write_text(header + "\n")
+        with pytest.raises(ValueError, match="empty trace"):
+            load_trace(tmp_path / "t")
+
+    def test_out_of_order_rows_are_sorted(self, tmp_path):
+        original, apps_path, _ = self._saved(tmp_path)
+        lines = apps_path.read_text().splitlines()
+        header, rows = lines[0], lines[1:]
+        apps_path.write_text("\n".join([header] + rows[::-1]) + "\n")
+        loaded = load_trace(tmp_path / "t")
+        assert [a.app_id for a in loaded.applications] == list(
+            range(original.n_apps)
+        )
+        assert loaded.applications == original.applications
+
+    def test_config_attached_verbatim(self, tmp_path):
+        from repro.trace import TraceConfig
+
+        original, _, _ = self._saved(tmp_path)
+        loaded = load_trace(
+            tmp_path / "t", config=TraceConfig(scale=0.02, seed=1)
+        )
+        assert loaded.config == original.config
+        assert loaded.config.n_machines == original.config.n_machines
+
+
 class TestExtendedFields:
     def test_scope_and_affinities_roundtrip(self, tmp_path):
         from repro.cluster.container import Application
