@@ -54,10 +54,29 @@ def decision_signature(result) -> tuple:
     )
 
 
-def _measure(trace, cfg: OnlineConfig, variant: AladdinConfig, repeats: int) -> dict:
-    sim = OnlineSimulator(trace, cfg)
-    runs = [sim.run(AladdinScheduler(variant)) for _ in range(repeats)]
-    best = min(runs, key=lambda r: r.total_elapsed_s)
+def _measure_interleaved(
+    trace, cfg: OnlineConfig, variants: dict[str, AladdinConfig], repeats: int
+) -> dict[str, dict]:
+    """Best-of-``repeats`` rows for every variant, repeats interleaved.
+
+    Round-robin across the variants (run 1 of each, then run 2 of
+    each, …) rather than back-to-back per variant: on a contended host
+    a load burst then degrades every variant's round about equally
+    instead of landing entirely on whichever variant was being timed,
+    so best-of-N ratios between variants converge much faster.
+    """
+    sims = {name: OnlineSimulator(trace, cfg) for name in variants}
+    runs: dict[str, list] = {name: [] for name in variants}
+    for _ in range(repeats):
+        for name, variant in variants.items():
+            runs[name].append(sims[name].run(AladdinScheduler(variant)))
+    return {
+        name: _row(min(results, key=lambda r: r.total_elapsed_s))
+        for name, results in runs.items()
+    }
+
+
+def _row(best) -> dict:
     tele = best.telemetry
     busy_ticks = sum(1 for s in best.samples if s.arrived_containers)
     return {
@@ -78,6 +97,12 @@ def _measure(trace, cfg: OnlineConfig, variant: AladdinConfig, repeats: int) -> 
         "cache_hit_rate": round(tele.cache_hit_rate, 4),
         "batch_kernel_invocations": tele.batch_kernel_invocations,
         "parallel_sweeps": tele.parallel_sweeps,
+        # Wall seconds per tick phase (window apply + scheduler phases),
+        # from the same best-of-repeats run as wall_time_ms.
+        "phase_time_s": {
+            name: round(dt, 4)
+            for name, dt in sorted(tele.phase_time_s.items())
+        },
         "_signature": decision_signature(best),
     }
 
@@ -125,9 +150,12 @@ def run_trace_report(
     )
 
     for name, (trace, cfg) in workloads.items():
-        rows: dict[str, dict] = {}
+        rows = _measure_interleaved(
+            trace, cfg,
+            {v: TRACE_VARIANTS[v] for v in variant_names},
+            repeats,
+        )
         for vname in variant_names:
-            rows[vname] = _measure(trace, cfg, TRACE_VARIANTS[vname], repeats)
             r = rows[vname]
             print(
                 f"{name:>12} / {vname:<9}: {r['wall_time_ms']:8.1f} ms, "
@@ -151,6 +179,19 @@ def run_trace_report(
             "decisions_identical": True,
             "variants": rows,
         }
+        if "full" in rows and "no-cache" in rows:
+            # The churn-fast-path regression signal: > 1.00 means the
+            # cross-round cache costs more than the scans it saves on
+            # this scenario (see EXPERIMENTS.md, churn fast path).
+            denom = rows["no-cache"]["wall_time_ms"]
+            ratio = rows["full"]["wall_time_ms"] / denom if denom else 0.0
+            report["scenarios"][name]["full_vs_no_cache_ratio"] = round(
+                ratio, 4
+            )
+            print(
+                f"{name:>12} full/no-cache wall ratio: {ratio:.2f}"
+                " (<= 1.00: the cache pays for itself)"
+            )
 
     storm = report["scenarios"].get("churn-storm")
     lla = report["scenarios"].get("lla-only")

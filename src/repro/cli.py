@@ -228,11 +228,78 @@ def cmd_online(args) -> int:
         print(f"scheduling wall time {result.total_elapsed_s * 1000:.1f} ms "
               f"across {sum(1 for s in result.samples if s.arrived_containers)}"
               " rounds")
+    if args.profile:
+        _write_profile(args.profile, result)
     return 0
+
+
+#: one-shot guard for the oversubscription warning (warn once per
+#: process, however many schedulers an invocation constructs)
+_workers_warned = False
+
+
+def _warn_oversubscribed_workers(workers: int) -> None:
+    """Warn once when ``--workers`` exceeds the visible CPU count.
+
+    Oversubscribed shard workers time-slice against each other, so the
+    parallel sweep usually runs *slower* than at ``--workers
+    os.cpu_count()`` — surprising enough to flag, but legitimate for
+    testing, so a warning rather than an error.
+    """
+    global _workers_warned
+    import os
+
+    cpus = os.cpu_count() or 1
+    if workers > cpus and not _workers_warned:
+        _workers_warned = True
+        print(
+            f"warning: --workers {workers} exceeds the {cpus} CPUs "
+            f"visible to this process; shard workers will oversubscribe "
+            f"cores (placements stay bit-identical, wall time usually "
+            f"worse than --workers {cpus})",
+            file=sys.stderr,
+        )
+
+
+def _write_profile(path: str, result) -> None:
+    """Write the per-tick, per-phase wall-time breakdown (``--profile``).
+
+    The JSON carries the run-level ``phase_time_s`` totals (window
+    phases from :func:`repro.sim.online.apply_window` plus the
+    scheduler's search/rescue/requeue/repair phases) and the same
+    breakdown per tick — wall times, so *not* part of the canonical
+    metrics; use ``--canonical-out`` for bit-identity comparisons.
+    """
+    import json
+    from pathlib import Path
+
+    payload = {
+        "total_elapsed_s": round(result.total_elapsed_s, 6),
+        "phase_time_s": {
+            name: round(dt, 6)
+            for name, dt in sorted(result.telemetry.phase_time_s.items())
+        },
+        "ticks": [
+            {
+                "tick": s.tick,
+                "arrived": s.arrived_containers,
+                "departed": s.departed_containers,
+                "phase_s": {
+                    name: round(dt, 6)
+                    for name, dt in sorted(s.phase_s.items())
+                },
+            }
+            for s in result.samples
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"wrote per-phase profile to {path}")
 
 
 def _aladdin_variant(args, factories):
     """The scheduler an ``online``/``serve`` invocation asked for."""
+    if args.workers > 1:
+        _warn_oversubscribed_workers(args.workers)
     if args.scheduler == "Aladdin" and (
         args.no_cache or args.no_batch or args.no_rescue_kernel
         or args.workers > 1 or args.engine != "batch"
@@ -310,6 +377,8 @@ def cmd_serve(args) -> int:
           f"window max {args.window_max}", flush=True)
     asyncio.run(server.run(args.socket))
     print(f"served {server.windows} windows; {server.telemetry.summary()}")
+    if args.profile:
+        _write_profile(args.profile, server.result)
     return 0
 
 
@@ -393,6 +462,11 @@ def _add_variant_args(parser: argparse.ArgumentParser) -> None:
                              "boundaries (Aladdin with --workers > 1; "
                              "placements are unchanged, worker cache "
                              "telemetry differs)")
+    parser.add_argument("--profile", metavar="PATH",
+                        help="write a per-tick, per-phase wall-time "
+                             "breakdown (window apply, departures, "
+                             "sampling, scheduler phases) to PATH as "
+                             "JSON after the run")
 
 
 def build_parser() -> argparse.ArgumentParser:

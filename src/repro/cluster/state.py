@@ -91,7 +91,16 @@ class ClusterState:
         # The log is compacted once it outgrows ``_log_limit``; consumers
         # older than the compaction base get ``None`` ("everything may
         # have changed") and must recompute fully.
-        self._dirty_log: list[int] = []
+        #
+        # The log lives in a growable int64 buffer (``_log_buf`` holds
+        # ``_log_len`` live entries) rather than a Python list: the hot
+        # consumers dedup a *slice* of it on every sync, and slicing an
+        # array is free where converting a list slice costs O(entries)
+        # Python-object unboxing per query — under storm churn that
+        # conversion, repeated per cache shape and index sync, was the
+        # dominant cache-side cost.
+        self._log_buf = np.empty(1024, dtype=np.int64)
+        self._log_len = 0
         self._log_base = 0
         self._log_limit = max(4096, 16 * n)
 
@@ -107,13 +116,56 @@ class ClusterState:
         call this so cross-round caches invalidate the machine.
         """
         self.version += 1
-        self._dirty_log.append(machine_id)
-        if len(self._dirty_log) > self._log_limit:
-            # Drop the oldest half; consumers synced before the new base
-            # fall back to a full recompute, never to stale verdicts.
-            drop = len(self._dirty_log) // 2
-            del self._dirty_log[:drop]
-            self._log_base += drop
+        if self._log_len == self._log_buf.size:
+            self._grow_log(self._log_len + 1)
+        self._log_buf[self._log_len] = machine_id
+        self._log_len += 1
+        if self._log_len > self._log_limit:
+            self._compact_log()
+
+    def touch_block(self, machine_ids) -> None:
+        """Record one mutation per entry of ``machine_ids``, in order.
+
+        Equivalent to calling :meth:`touch` per id — the version counter
+        advances by ``len(machine_ids)`` and the log gains the same
+        entries in the same order — but pays the append once per block.
+        Compaction fires at most once, after the extend; the boundary can
+        therefore differ from the scalar path's, which is safe because a
+        consumer older than the base always recomputes fully.
+        """
+        ids = np.asarray(machine_ids, dtype=np.int64)
+        k = int(ids.size)
+        if k == 0:
+            return
+        self.version += k
+        end = self._log_len + k
+        if end > self._log_buf.size:
+            self._grow_log(end)
+        self._log_buf[self._log_len : end] = ids
+        self._log_len = end
+        if self._log_len > self._log_limit:
+            self._compact_log()
+
+    def _grow_log(self, needed: int) -> None:
+        new = np.empty(max(needed, 2 * self._log_buf.size), dtype=np.int64)
+        new[: self._log_len] = self._log_buf[: self._log_len]
+        self._log_buf = new
+
+    def _compact_log(self) -> None:
+        # Drop the oldest half; consumers synced before the new base
+        # fall back to a full recompute, never to stale verdicts.
+        drop = self._log_len // 2
+        keep = self._log_len - drop
+        self._log_buf[:keep] = self._log_buf[drop : self._log_len]
+        self._log_len = keep
+        self._log_base += drop
+
+    @property
+    def dirty_log(self) -> list[int]:
+        """The live dirty-log entries, oldest first (one machine id per
+        version since :attr:`_log_base`).  Diagnostic/test accessor —
+        hot paths use :meth:`dirty_array_since`."""
+        return self._log_buf[: self._log_len].tolist()
 
     def dirty_since(self, version: int) -> set[int] | None:
         """Machines mutated after ``version``, or ``None`` when unknown.
@@ -126,7 +178,9 @@ class ClusterState:
             return set()
         if version < self._log_base:
             return None
-        return set(self._dirty_log[version - self._log_base :])
+        return set(
+            self._log_buf[version - self._log_base : self._log_len].tolist()
+        )
 
     def dirty_array_since(self, version: int) -> np.ndarray | None:
         """Like :meth:`dirty_since`, as a deduplicated ascending array.
@@ -140,9 +194,32 @@ class ClusterState:
             return _NO_DIRTY
         if version < self._log_base:
             return None
-        return np.unique(
-            np.asarray(self._dirty_log[version - self._log_base :], dtype=np.int64)
-        )
+        raw = self._log_buf[version - self._log_base : self._log_len]
+        n = self.topology.n_machines
+        if raw.size > n:
+            # Dense slice: a boolean scatter + flatnonzero dedups in
+            # O(slice + n) — same ascending-unique result as np.unique
+            # without the O(slice log slice) sort.
+            flags = np.zeros(n, dtype=bool)
+            flags[raw] = True
+            return np.flatnonzero(flags)
+        return np.unique(raw)
+
+    def dirty_raw_since(self, version: int) -> np.ndarray | None:
+        """Like :meth:`dirty_array_since`, without deduplication.
+
+        The raw log slice in mutation order: a machine touched twice
+        since ``version`` appears twice.  For consumers whose per-entry
+        work is idempotent (the feasibility cache rewrites the same
+        verdict), indexing with duplicates is cheaper than any dedup
+        when the slice is short.  Callers must treat the result as
+        read-only.
+        """
+        if version >= self.version:
+            return _NO_DIRTY
+        if version < self._log_base:
+            return None
+        return self._log_buf[version - self._log_base : self._log_len]
 
     # ------------------------------------------------------------------
     # queries
@@ -315,6 +392,130 @@ class ClusterState:
         self._record(EventKind.EVICT, container_id, machine_id)
         return container
 
+    def evict_block(self, container_ids) -> int:
+        """Evict every *deployed* container of ``container_ids`` at once.
+
+        Ids not currently deployed are skipped — the shared window logic
+        relies on this, since a departing container may already have been
+        displaced by a fault in the same window.  Returns the number of
+        containers actually evicted.
+
+        Bit-identical to calling :meth:`evict` per id in order
+        (:func:`np.add.at` is unbuffered: the per-occurrence additions to
+        ``available`` apply in exactly the scalar loop's sequence), but
+        the numpy call overhead and the dirty-log append are paid once
+        per window instead of once per container.  :meth:`evict` remains
+        the scalar fallback for single-container callers.
+        """
+        assignment = self.assignment
+        # First occurrence wins; a duplicate id in the same window is
+        # "already evicted" by the time the loop would reach it, exactly
+        # like the absent-id case under the scalar loop.
+        present: list[int] = []
+        picked: set[int] = set()
+        for cid in container_ids:
+            if cid in assignment and cid not in picked:
+                picked.add(cid)
+                present.append(cid)
+        if not present:
+            return 0
+        resources = self.topology.resources
+        containers = self._containers
+        machine_containers = self.machine_containers
+        app_machines = self.app_machines
+        # All containers of an application are identical (the IL
+        # premise), so the demand vector is derived once per app.
+        demand_of: dict[int, np.ndarray] = {}
+        machines: list[int] = []
+        rows: list[np.ndarray] = []
+        for cid in present:
+            machine_id = assignment.pop(cid)
+            container = containers.pop(cid)
+            app_id = container.app_id
+            demand = demand_of.get(app_id)
+            if demand is None:
+                demand = container.demand_vector(resources)
+                demand_of[app_id] = demand
+            machines.append(machine_id)
+            rows.append(demand)
+            machine_containers[machine_id].pop(cid, None)
+            per_machine = app_machines[app_id]
+            per_machine[machine_id] -= 1
+            if per_machine[machine_id] == 0:
+                del per_machine[machine_id]
+        idx = np.asarray(machines, dtype=np.int64)
+        np.add.at(self.available, idx, np.asarray(rows))
+        np.subtract.at(self.container_count, idx, 1)
+        self.touch_block(idx)
+        if self.events is not None:
+            for cid, machine_id in zip(present, machines):
+                self._record(EventKind.EVICT, cid, machine_id)
+        return len(present)
+
+    def deploy_block(self, containers, machine_ids, demand: np.ndarray) -> None:
+        """Deploy ``containers[i]`` on ``machine_ids[i]`` in one pass.
+
+        The fast path behind the batch kernel's commit: the containers
+        are one application block sharing a single ``demand`` vector,
+        and the caller has already established per-placement feasibility
+        (the kernel plans within per-machine fit quotas over the admit
+        mask, which excludes blacklisted machines), so the per-container
+        capacity and anti-affinity prechecks of :meth:`deploy` are
+        replaced by one vectorised capacity guard over the touched
+        machines.  Bit-identical to calling :meth:`deploy` per pair in
+        order; :meth:`deploy` remains the scalar fallback used by the
+        overflow/rescue paths.
+
+        Raises ``ValueError`` with the block's resource updates rolled
+        back if any touched machine would go negative — a planner that
+        trips this guard has a bug (the guard is exact: ``available``
+        only decreases within the block, so a non-negative end state
+        implies every intermediate state was feasible too).
+        """
+        idx = np.asarray(machine_ids, dtype=np.int64)
+        k = int(idx.size)
+        if k == 0:
+            return
+        if len(containers) != k:
+            raise ValueError(
+                f"deploy_block got {len(containers)} containers for "
+                f"{k} machines"
+            )
+        assignment = self.assignment
+        for container in containers:
+            if container.container_id in assignment:
+                raise ValueError(
+                    f"container {container.container_id} is already "
+                    f"deployed on machine "
+                    f"{assignment[container.container_id]}"
+                )
+        np.subtract.at(self.available, idx, demand)
+        touched = np.unique(idx)
+        short = (self.available[touched] < 0.0).any(axis=1)
+        if short.any():
+            bad = touched[short].tolist()
+            np.add.at(self.available, idx, demand)
+            raise ValueError(
+                f"deploy_block plan overcommits machines {bad}: the "
+                "caller must establish feasibility before the block "
+                "commit"
+            )
+        np.add.at(self.container_count, idx, 1)
+        mlist = idx.tolist()
+        machine_containers = self.machine_containers
+        app_machines = self.app_machines
+        for container, machine_id in zip(containers, mlist):
+            cid = container.container_id
+            assignment[cid] = machine_id
+            self._containers[cid] = container
+            machine_containers.setdefault(machine_id, {})[cid] = None
+            per_machine = app_machines.setdefault(container.app_id, {})
+            per_machine[machine_id] = per_machine.get(machine_id, 0) + 1
+        self.touch_block(idx)
+        if self.events is not None:
+            for container, machine_id in zip(containers, mlist):
+                self._record(EventKind.DEPLOY, container.container_id, machine_id)
+
     def migrate(self, container_id: int, target_machine: int) -> None:
         """Move a deployed container to ``target_machine`` atomically."""
         source = self.assignment.get(container_id)
@@ -436,7 +637,7 @@ class ClusterState:
             },
             "app_machines": {a: dict(d) for a, d in self.app_machines.items()},
             "version": self.version,
-            "dirty_log": list(self._dirty_log),
+            "dirty_log": self._log_buf[: self._log_len].tolist(),
             "log_base": self._log_base,
             "clock": self._clock,
             "events": self.events,
@@ -484,7 +685,11 @@ class ClusterState:
             a: dict(d) for a, d in payload["app_machines"].items()
         }
         state.version = payload["version"]
-        state._dirty_log = list(payload["dirty_log"])
+        log = np.asarray(payload["dirty_log"], dtype=np.int64)
+        if log.size > state._log_buf.size:
+            state._grow_log(log.size)
+        state._log_buf[: log.size] = log
+        state._log_len = int(log.size)
         state._log_base = payload["log_base"]
         state._clock = payload["clock"]
         state.events = payload["events"]
@@ -613,6 +818,22 @@ class ShardView:
         if len(segments) == 1:
             return np.unique(segments[0])
         return np.unique(np.concatenate(segments))
+
+    def dirty_raw_since(self, version: int) -> np.ndarray | None:
+        """Raw, possibly duplicated form of :meth:`dirty_array_since`.
+
+        Skips the dedup sort for consumers whose resync is idempotent
+        (the feasibility cache rewrites verdicts in place), matching
+        :meth:`ClusterState.dirty_raw_since`.
+        """
+        if version >= self.version:
+            return _NO_DIRTY
+        if version < self._base:
+            return None
+        segments = self._segments[version - self._base :]
+        if len(segments) == 1:
+            return segments[0]
+        return np.concatenate(segments)
 
     def dirty_since(self, version: int) -> set[int] | None:
         """Set form of :meth:`dirty_array_since` (parity with states)."""

@@ -34,6 +34,26 @@ logged).  When the log has been compacted past the entry's version, or
 the entry belongs to a different state instance, the verdicts are
 discarded wholesale — the cache degrades to the seed behaviour, never
 to stale answers.
+
+Two *adaptive* policies bound the bookkeeping under storm churn, where
+most demand shapes live exactly one tick and the dirty log grows by
+thousands of entries between two sightings of the same shape:
+
+* **Reuse-gated insertion** — the first sighting of a shape computes
+  its verdicts without storing an entry; an entry is created only once
+  the shape recurs (:attr:`FeasibilityCache.REUSE_THRESHOLD`).  One-shot
+  shapes therefore never pay entry allocation, and a rebind drops less.
+* **Sync cost model** — an entry whose version gap exceeds an eighth of
+  the machine count (floor :attr:`FeasibilityCache.SYNC_GAP_FLOOR`) is
+  recomputed wholesale instead of incrementally: slicing and deduping
+  the dirty log is per-query Python/numpy overhead, while a fresh
+  O(machines × dims) scan is one vectorised pass — cheaper whenever
+  the gap is a non-trivial fraction of the cluster.  Accounting matches
+  the compacted-log path (``misses = invalidations = n``).
+
+Both policies change only *when* verdicts are recomputed, never their
+values, so the cache stays decision-transparent — the differential
+harness proves cached ≡ cold bit-identically with them active.
 """
 
 from __future__ import annotations
@@ -73,9 +93,20 @@ class FeasibilityCache:
         ``explored`` work counter.
     """
 
+    #: sightings of a shape before its verdicts are cached (2 = store on
+    #: first recurrence; 1 restores the store-always seed behaviour)
+    REUSE_THRESHOLD = 2
+
+    #: smallest version gap the sync cost model will recompute wholesale
+    #: for — below this, incremental resync always wins regardless of
+    #: cluster size (and the unit-scale incremental tests stay exact)
+    SYNC_GAP_FLOOR = 32
+
     def __init__(self, report_telemetry: bool = True) -> None:
         self._state_uid: int | None = None
         self._entries: dict[bytes, _Entry] = {}
+        #: shape key -> sightings while still unstored (reuse gating)
+        self._shape_seen: dict[bytes, int] = {}
         #: report hit/miss/invalidation increments to the active
         #: telemetry collector.  The rescue kernel's private dominance
         #: cache runs quiet so the engine-level ``cache_*`` counters
@@ -90,6 +121,7 @@ class FeasibilityCache:
     def reset(self) -> None:
         """Drop every entry (rebinding to a new state does this too)."""
         self._entries.clear()
+        self._shape_seen.clear()
         self._state_uid = None
 
     def __len__(self) -> int:
@@ -108,6 +140,7 @@ class FeasibilityCache:
                 key: (entry.fit.copy(), entry.version)
                 for key, entry in self._entries.items()
             },
+            "shape_seen": dict(self._shape_seen),
             "hits": self.hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
@@ -127,11 +160,92 @@ class FeasibilityCache:
             key: _Entry(fit=np.array(fit), version=version)
             for key, (fit, version) in payload["entries"].items()
         }
+        # Reuse-gating sightings; absent in pre-adaptive snapshots, in
+        # which case the gated shapes simply start their count over.
+        self._shape_seen = dict(payload.get("shape_seen", {}))
         self._state_uid = state_uid
         self.hits = payload["hits"]
         self.misses = payload["misses"]
         self.invalidations = payload["invalidations"]
         self.last_recomputed = payload["last_recomputed"]
+
+    # ------------------------------------------------------------------
+    def _dominance(
+        self, state: ClusterState, demand: np.ndarray
+    ) -> tuple[np.ndarray, bool]:
+        """Exact Equation-6 verdicts for ``demand`` at the current version.
+
+        Returns ``(fit, shared)``: ``shared`` is true when ``fit`` is
+        the cache's live entry array (callers needing a private copy
+        must copy it), false when it is a fresh one-shot array the
+        reuse gate declined to store.
+        """
+        n = state.n_machines
+        key = demand.tobytes()
+        entry = self._entries.get(key)
+
+        if entry is None:
+            fit = (state.available >= demand).all(axis=1)
+            seen = self._shape_seen.get(key, 0) + 1
+            if seen >= self.REUSE_THRESHOLD:
+                # The shape recurred: cache it and sync incrementally
+                # from now on.
+                self._shape_seen.pop(key, None)
+                self._entries[key] = _Entry(fit=fit, version=state.version)
+                self._count(hits=0, misses=n, invalidations=0)
+                return fit, True
+            self._shape_seen[key] = seen
+            self._count(hits=0, misses=n, invalidations=0)
+            return fit, False
+
+        gap = state.version - entry.version
+        if gap == 0:
+            # Already synced to this exact version — the common case for
+            # repeat queries within one scheduling round.  Skips the
+            # dirty-log slice entirely; accounting matches the
+            # empty-dirty path below (inlined: this path must stay
+            # cheaper than the raw scan it replaces).
+            self.hits += n
+            self.last_recomputed = 0
+            if self.report_telemetry:
+                tele = telemetry.current()
+                if tele is not None:
+                    tele.cache_hits += n
+            return entry.fit, True
+        if gap > (floor if (floor := self.SYNC_GAP_FLOOR) > n >> 3 else n >> 3):
+            # Sync cost model: slicing and deduping the dirty log costs
+            # real per-query Python/numpy overhead, while a wholesale
+            # rescan is one vectorised pass over ``n × dims`` floats —
+            # cheap at small cluster sizes.  Recompute wholesale once
+            # the gap exceeds n/8 mutations (floor SYNC_GAP_FLOOR, so
+            # tiny clusters still sync small gaps incrementally), with
+            # the same accounting as a compacted log.
+            entry.fit = (state.available >= demand).all(axis=1)
+            self._count(hits=0, misses=n, invalidations=n)
+        else:
+            # Raw (possibly duplicated) slice: rewriting a verdict twice
+            # is idempotent, and the cost model above bounds the slice
+            # to max(SYNC_GAP_FLOOR, n/8) entries, so skipping the dedup
+            # sort is the cheaper trade.  ``stale`` counts occurrences.
+            dirty = state.dirty_raw_since(entry.version)
+            if dirty is None:
+                # The log no longer reaches this far back: recompute.
+                entry.fit = (state.available >= demand).all(axis=1)
+                self._count(hits=0, misses=n, invalidations=n)
+            elif dirty.size:
+                entry.fit[dirty] = (state.available[dirty] >= demand).all(
+                    axis=1
+                )
+                # Occurrence count, clamped: on a tiny cluster the
+                # bounded slice can still repeat machines past n.
+                stale = min(int(dirty.size), n)
+                self._count(
+                    hits=n - stale, misses=stale, invalidations=stale
+                )
+            else:
+                self._count(hits=n, misses=0, invalidations=0)
+        entry.version = state.version
+        return entry.fit, True
 
     # ------------------------------------------------------------------
     def feasible_mask(
@@ -148,35 +262,13 @@ class FeasibilityCache:
             self.reset()
             self._state_uid = state.state_uid
 
-        n = state.n_machines
-        key = demand.tobytes()
-        entry = self._entries.get(key)
-
-        if entry is None:
-            fit = (state.available >= demand).all(axis=1)
-            self._entries[key] = _Entry(fit=fit, version=state.version)
-            self._count(hits=0, misses=n, invalidations=0)
-        else:
-            dirty = state.dirty_array_since(entry.version)
-            if dirty is None:
-                # The log no longer reaches this far back: recompute.
-                entry.fit = (state.available >= demand).all(axis=1)
-                self._count(hits=0, misses=n, invalidations=n)
-            elif dirty.size:
-                entry.fit[dirty] = (state.available[dirty] >= demand).all(axis=1)
-                stale = int(dirty.size)
-                self._count(hits=n - stale, misses=stale, invalidations=stale)
-            else:
-                self._count(hits=n, misses=0, invalidations=0)
-            entry.version = state.version
-            fit = entry.fit
-
+        fit, shared = self._dominance(state, demand)
         cs = state.constraints
         if cs.has_within(app_id) or cs.has_conflicts(app_id):
             # The blacklist term is live, so it can never go stale; it
             # only touches machines hosting the app's conflict partners.
             return fit & ~state.forbidden_mask(app_id)
-        return fit.copy()
+        return fit.copy() if shared else fit
 
     # ------------------------------------------------------------------
     def dominance_mask(
@@ -194,26 +286,8 @@ class FeasibilityCache:
         if state.state_uid != self._state_uid:
             self.reset()
             self._state_uid = state.state_uid
-        n = state.n_machines
-        key = demand.tobytes()
-        entry = self._entries.get(key)
-        if entry is None:
-            fit = (state.available >= demand).all(axis=1)
-            self._entries[key] = _Entry(fit=fit, version=state.version)
-            self._count(hits=0, misses=n, invalidations=0)
-            return fit
-        dirty = state.dirty_array_since(entry.version)
-        if dirty is None:
-            entry.fit = (state.available >= demand).all(axis=1)
-            self._count(hits=0, misses=n, invalidations=n)
-        elif dirty.size:
-            entry.fit[dirty] = (state.available[dirty] >= demand).all(axis=1)
-            stale = int(dirty.size)
-            self._count(hits=n - stale, misses=stale, invalidations=stale)
-        else:
-            self._count(hits=n, misses=0, invalidations=0)
-        entry.version = state.version
-        return entry.fit
+        fit, _ = self._dominance(state, demand)
+        return fit
 
     # ------------------------------------------------------------------
     def _count(self, hits: int, misses: int, invalidations: int) -> None:

@@ -246,11 +246,13 @@ class AladdinScheduler(Scheduler):
         scope = cs.within_scope(app_id) if cs.has_within(app_id) else None
         order = self.machine_index.candidates(state, mask, affinity)
         machines = block_plan(state, demand, order, len(block), scope)
-        for container, machine in zip(block, machines):
-            machine = int(machine)
-            state.deploy(container, machine, demand)
-            result.placements[container.container_id] = machine
         placed = int(machines.size)
+        # Commit the planned prefix in one batched mutation — the kernel
+        # established feasibility, so the block path skips the scalar
+        # per-container prechecks.
+        state.deploy_block(block[:placed], machines, demand)
+        for container, machine in zip(block, machines.tolist()):
+            result.placements[container.container_id] = machine
         self.batch_placed += placed
         # One examined machine per placement, mirroring the DL walk's
         # per-container O(1) charge.
@@ -289,11 +291,10 @@ class AladdinScheduler(Scheduler):
         machines, recomputed, admitted = self.parallel.plan_block(
             state, demand, app_id, len(block), scope
         )
-        for container, machine in zip(block, machines):
-            machine = int(machine)
-            state.deploy(container, machine, demand)
-            result.placements[container.container_id] = machine
         placed = int(machines.size)
+        state.deploy_block(block[:placed], machines, demand)
+        for container, machine in zip(block, machines.tolist()):
+            result.placements[container.container_id] = machine
         self.batch_placed += placed
         result.explored += recomputed + placed
         tele = result.telemetry

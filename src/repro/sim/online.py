@@ -34,6 +34,7 @@ config or scheduler.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -115,6 +116,13 @@ class TickSample:
     rescue_attempts: int = 0
     #: of those, attempts planned by the vectorized rescue kernel
     rescue_kernel_invocations: int = 0
+    #: phase name -> wall seconds spent inside this tick.  Window phases
+    #: (``window_departures``, ``window_sample``, ``window_record``) are
+    #: timed by :func:`apply_window`/:func:`record_window`; scheduler
+    #: phases (search, rescue, requeue, repair) are copied from the
+    #: round's telemetry.  Wall times, so excluded from
+    #: :meth:`OnlineResult.canonical_json` like every other timing.
+    phase_s: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -271,11 +279,12 @@ def apply_window(
     round's :class:`~repro.base.ScheduleResult` (``None`` on idle
     windows).
     """
-    departed = 0
-    for cid in departures:
-        if cid in state.assignment:
-            state.evict(cid)
-            departed += 1
+    # Batched eviction: one vectorised pass over the whole window's
+    # departures (absent ids are skipped — the container may have been
+    # displaced by a fault already).
+    t0 = time.perf_counter()
+    departed = state.evict_block(departures)
+    phase_s = {"window_departures": time.perf_counter() - t0}
 
     migrations = failed = explored = 0
     cache_hits = batch_invocations = 0
@@ -294,7 +303,12 @@ def apply_window(
             rescue_kernel_invocations = (
                 schedule.telemetry.rescue_kernel_invocations
             )
+            # Per-tick copy of the round's scheduler phases, next to the
+            # window phases, so a profile dump shows the whole tick.
+            for name, dt in schedule.telemetry.phase_time_s.items():
+                phase_s[name] = phase_s.get(name, 0.0) + dt
 
+    t0 = time.perf_counter()
     used = state.used_machines()
     util = state.used_utilization(0)
     sample = TickSample(
@@ -312,8 +326,15 @@ def apply_window(
         batch_invocations=batch_invocations,
         rescue_attempts=rescue_attempts,
         rescue_kernel_invocations=rescue_kernel_invocations,
+        phase_s=phase_s,
     )
+    phase_s["window_sample"] = time.perf_counter() - t0
     return sample, schedule
+
+
+#: tick phases timed by the window logic itself (as opposed to the
+#: scheduler phases, which arrive in the result via telemetry.merge)
+WINDOW_PHASES = ("window_departures", "window_sample", "window_record")
 
 
 def record_window(
@@ -322,6 +343,7 @@ def record_window(
     schedule: ScheduleResult | None,
 ) -> None:
     """Fold one applied window into ``result``'s series and totals."""
+    t0 = time.perf_counter()
     result.samples.append(sample)
     result.total_departed += sample.departed_containers
     if schedule is not None:
@@ -330,7 +352,15 @@ def record_window(
         result.total_migrations += schedule.migrations
         result.total_elapsed_s += schedule.elapsed_s
         if schedule.telemetry is not None:
+            # Scheduler phase times (search, rescue, requeue, repair)
+            # ride along in this merge — only the window-local phases
+            # below need explicit folding, or they'd double-count.
             result.telemetry.merge(schedule.telemetry)
+    sample.phase_s["window_record"] = time.perf_counter() - t0
+    for name in WINDOW_PHASES:
+        dt = sample.phase_s.get(name)
+        if dt is not None:
+            result.telemetry.add_phase_time(name, dt)
 
 
 class OnlineSimulator:

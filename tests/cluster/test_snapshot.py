@@ -154,7 +154,7 @@ class TestStateRoundTrip:
         assert np.array_equal(back.available, state.available)
         assert np.array_equal(back.container_count, state.container_count)
         assert back.version == state.version
-        assert back._dirty_log == state._dirty_log
+        assert back.dirty_log == state.dirty_log
         assert back._log_base == state._log_base
         assert back.app_machines == state.app_machines
         # resident enumeration order is part of the determinism contract
@@ -209,6 +209,7 @@ class TestStaleWatermarkFallback:
         demand = np.array([4.0, 8.0])
         cache = FeasibilityCache(report_telemetry=False)
         cache.feasible_mask(state, demand, app_id=3)
+        cache.feasible_mask(state, demand, app_id=3)  # recurrence: entry stored
         image = cache.checkpoint()
         synced_at = next(iter(image["entries"].values()))[1]
 
@@ -231,6 +232,7 @@ class TestStaleWatermarkFallback:
         demand = np.array([4.0, 8.0])
         cache = FeasibilityCache(report_telemetry=False)
         cache.feasible_mask(state, demand, app_id=3)
+        cache.feasible_mask(state, demand, app_id=3)  # recurrence: entry stored
         image = cache.checkpoint()
 
         state.deploy(container(91, app=4, cpu=state.available[3, 0]), 3)

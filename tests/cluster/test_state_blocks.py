@@ -1,0 +1,181 @@
+"""Batched state mutations (`evict_block` / `deploy_block` / `touch_block`).
+
+The churn fast path commits whole windows and whole application blocks
+through one vectorised mutation instead of a per-container Python loop.
+These tests pin the contract that makes that safe: every block method is
+**bit-identical** to its scalar fallback applied per element in order
+(``np.add.at``/``np.subtract.at`` are unbuffered, so per-occurrence
+updates apply in exactly the loop's sequence), and the documented edge
+cases — absent ids, empty blocks, overcommitted plans — degrade the way
+the shared window logic relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.constraints import AntiAffinityRule, ConstraintSet
+from repro.cluster.container import Container
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import build_cluster
+
+
+def container(cid, app=0, cpu=4.0, prio=0):
+    return Container(
+        container_id=cid, app_id=app, instance=0, cpu=cpu, mem_gb=cpu * 2,
+        priority=prio,
+    )
+
+
+@pytest.fixture
+def topo():
+    return build_cluster(8)
+
+
+@pytest.fixture
+def constraints():
+    return ConstraintSet([AntiAffinityRule(0, 0)])
+
+
+def fresh_pair(topo, constraints):
+    """Two independent states with identical starting populations."""
+    states = []
+    for _ in range(2):
+        state = ClusterState(topo, constraints)
+        state.deploy(container(0, app=0, cpu=4.0), 1)
+        state.deploy(container(1, app=1, cpu=8.0), 2)
+        state.deploy(container(2, app=1, cpu=8.0), 2)
+        state.deploy(container(3, app=2, cpu=2.0), 4)
+        state.deploy(container(4, app=2, cpu=2.0), 1)
+        states.append(state)
+    return states
+
+
+def assert_states_identical(a: ClusterState, b: ClusterState) -> None:
+    assert a.assignment == b.assignment
+    assert (a.available == b.available).all()  # bitwise, not allclose
+    assert (a.container_count == b.container_count).all()
+    assert a.version == b.version
+    assert a.dirty_log == b.dirty_log
+    assert {m: list(c) for m, c in a.machine_containers.items() if c} == {
+        m: list(c) for m, c in b.machine_containers.items() if c
+    }
+    assert a.app_machines == b.app_machines
+
+
+class TestEvictBlock:
+    def test_bit_identical_to_scalar_loop(self, topo, constraints):
+        batched, scalar = fresh_pair(topo, constraints)
+        ids = [4, 0, 2]  # deliberately out of deployment order
+        assert batched.evict_block(ids) == 3
+        for cid in ids:
+            scalar.evict(cid)
+        assert_states_identical(batched, scalar)
+
+    def test_absent_ids_skipped_not_fatal(self, topo, constraints):
+        state, _ = fresh_pair(topo, constraints)
+        # 999 was never deployed; 0 is evicted twice (absent second time)
+        assert state.evict_block([0, 999]) == 1
+        assert state.evict_block([0, 999]) == 0
+        assert 0 not in state.assignment
+
+    def test_empty_block_is_a_no_op(self, topo, constraints):
+        state, _ = fresh_pair(topo, constraints)
+        before = state.version
+        assert state.evict_block([]) == 0
+        assert state.evict_block([999]) == 0  # all-absent is empty too
+        assert state.version == before
+
+    def test_events_recorded_per_container(self, topo, constraints):
+        state = ClusterState(topo, constraints, track_events=True)
+        state.deploy(container(0, app=0), 1)
+        state.deploy(container(1, app=0), 2)
+        from repro.cluster.events import EventKind
+
+        state.evict_block([0, 1])
+        evicts = state.events.of_kind(EventKind.EVICT)
+        assert [(e.container_id, e.machine_id) for e in evicts] == [
+            (0, 1), (1, 2)
+        ]
+
+
+class TestDeployBlock:
+    def test_bit_identical_to_scalar_loop(self, topo, constraints):
+        batched, scalar = fresh_pair(topo, constraints)
+        block = [container(10 + i, app=5, cpu=3.0) for i in range(4)]
+        machines = np.array([0, 3, 0, 5], dtype=np.int64)
+        demand = block[0].demand_vector(topo.resources)
+        batched.deploy_block(block, machines, demand)
+        for c, m in zip(block, machines.tolist()):
+            scalar.deploy(c, m)
+        assert_states_identical(batched, scalar)
+
+    def test_empty_block_is_a_no_op(self, topo, constraints):
+        state, _ = fresh_pair(topo, constraints)
+        before = state.version
+        state.deploy_block([], np.array([], dtype=np.int64), np.zeros(2))
+        assert state.version == before
+
+    def test_length_mismatch_rejected(self, topo, constraints):
+        state, _ = fresh_pair(topo, constraints)
+        demand = np.array([1.0, 2.0])
+        with pytest.raises(ValueError, match="containers for"):
+            state.deploy_block([container(10)], np.array([0, 1]), demand)
+
+    def test_duplicate_assignment_rejected(self, topo, constraints):
+        state, _ = fresh_pair(topo, constraints)
+        demand = np.array([1.0, 2.0])
+        with pytest.raises(ValueError, match="already"):
+            state.deploy_block(
+                [container(0, app=9, cpu=1.0)],  # id 0 is deployed
+                np.array([3], dtype=np.int64),
+                demand,
+            )
+
+    def test_overcommit_rolls_back_and_raises(self, topo, constraints):
+        state, _ = fresh_pair(topo, constraints)
+        before = state.available.copy()
+        big = float(state.available[3, 0]) + 1.0
+        block = [container(20, app=7, cpu=big)]
+        demand = block[0].demand_vector(topo.resources)
+        with pytest.raises(ValueError, match="overcommit"):
+            state.deploy_block(block, np.array([3], dtype=np.int64), demand)
+        assert (state.available == before).all()
+        assert 20 not in state.assignment
+
+    def test_monotonic_guard_catches_mid_block_overcommit(
+        self, topo, constraints
+    ):
+        """Two placements that individually fit but jointly overcommit
+        one machine must be rejected — the end-state guard is exact
+        because ``available`` only decreases within a block."""
+        state, _ = fresh_pair(topo, constraints)
+        room = float(state.available[5, 0])
+        cpu = room * 0.6  # one fits, two do not
+        block = [container(30, app=8, cpu=cpu), container(31, app=8, cpu=cpu)]
+        demand = block[0].demand_vector(topo.resources)
+        with pytest.raises(ValueError, match="overcommit"):
+            state.deploy_block(block, np.array([5, 5], dtype=np.int64), demand)
+        assert 30 not in state.assignment and 31 not in state.assignment
+
+
+class TestTouchBlock:
+    def test_matches_scalar_touch_sequence(self, topo, constraints):
+        a, b = fresh_pair(topo, constraints)
+        ids = [3, 3, 0, 7]
+        a.touch_block(np.asarray(ids, dtype=np.int64))
+        for m in ids:
+            b.touch(m)
+        assert a.version == b.version
+        assert a.dirty_log == b.dirty_log
+
+    def test_block_append_compacts_like_scalar(self, topo, constraints):
+        state = ClusterState(topo, constraints)
+        limit = state._log_limit
+        state.touch_block(np.zeros(limit + 10, dtype=np.int64))
+        # The log compacted (dropped its oldest half) but the version
+        # kept counting every touch.
+        assert state.version == limit + 10
+        assert len(state.dirty_log) <= limit
+        # Consumers older than the compaction watermark get the
+        # degrade-to-recompute signal, never a partial slice.
+        assert state.dirty_since(0) is None

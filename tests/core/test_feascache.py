@@ -106,29 +106,38 @@ DEMAND = np.array([4.0, 8.0])
 
 
 class TestFeasibilityCache:
-    def test_first_query_misses_then_hits(self):
+    def test_reuse_gate_stores_on_first_recurrence_then_hits(self):
+        # Adaptive insertion: the first sighting of a shape computes
+        # without storing; the second stores; the third is a pure hit.
         state = fresh_state(apps=UNCONSTRAINED + CONSTRAINED)
         cache = FeasibilityCache()
         n = state.n_machines
         mask = cache.feasible_mask(state, DEMAND, app_id=0)
         assert cache.misses == n and cache.hits == 0
+        assert len(cache) == 0, "a one-shot shape must not allocate"
         assert np.array_equal(mask, state.feasible_mask(DEMAND, 0))
         again = cache.feasible_mask(state, DEMAND, app_id=0)
-        assert cache.hits == n
+        assert cache.misses == 2 * n and cache.hits == 0
+        assert len(cache) == 1
         assert np.array_equal(again, mask)
+        third = cache.feasible_mask(state, DEMAND, app_id=0)
+        assert cache.hits == n
+        assert np.array_equal(third, mask)
 
     def test_returned_mask_is_a_private_copy(self):
         state = fresh_state(apps=UNCONSTRAINED)
         cache = FeasibilityCache()
-        first = cache.feasible_mask(state, DEMAND, app_id=0)
-        first[:] = False
-        second = cache.feasible_mask(state, DEMAND, app_id=0)
-        assert second.any(), "caller mutation corrupted the cached entry"
+        cache.feasible_mask(state, DEMAND, app_id=0)
+        second = cache.feasible_mask(state, DEMAND, app_id=0)  # stored now
+        second[:] = False
+        third = cache.feasible_mask(state, DEMAND, app_id=0)
+        assert third.any(), "caller mutation corrupted the cached entry"
 
     def test_only_dirty_machines_recompute(self):
         state = fresh_state(apps=UNCONSTRAINED + CONSTRAINED)
         cache = FeasibilityCache()
         cache.feasible_mask(state, DEMAND, app_id=0)
+        cache.feasible_mask(state, DEMAND, app_id=0)  # entry stored
         deploy(state, app_id=2, machine_id=3, cpu=8.0, mem=16.0)
         cache.misses = cache.hits = 0
         mask = cache.feasible_mask(state, DEMAND, app_id=0)
@@ -141,7 +150,9 @@ class TestFeasibilityCache:
         state = fresh_state(apps=UNCONSTRAINED + CONSTRAINED)
         cache = FeasibilityCache()
         cache.feasible_mask(state, DEMAND, app_id=0)
+        cache.feasible_mask(state, DEMAND, app_id=0)  # entry stored
         assert len(cache) == 1
+        cache.hits = 0
         mask = cache.feasible_mask(state, DEMAND, app_id=1)  # pure hit
         assert len(cache) == 1
         assert cache.hits == state.n_machines
@@ -150,14 +161,15 @@ class TestFeasibilityCache:
     def test_constrained_apps_share_the_dominance_entry(self):
         # The cached term (capacity dominance) is app-independent, so
         # constrained apps share it too; their blacklists are applied
-        # live on top.  Three same-shape apps -> one entry.
+        # live on top.  Three same-shape apps -> one entry, stored on
+        # the shape's first recurrence.
         state = fresh_state(apps=UNCONSTRAINED + CONSTRAINED)
         cache = FeasibilityCache()
         cache.feasible_mask(state, DEMAND, app_id=3)
         cache.feasible_mask(state, DEMAND, app_id=4)
         cache.feasible_mask(state, DEMAND, app_id=0)
         assert len(cache) == 1
-        assert cache.hits == 2 * state.n_machines
+        assert cache.hits == state.n_machines  # the third query only
         for app_id in (3, 4, 0):
             assert np.array_equal(
                 cache.feasible_mask(state, DEMAND, app_id),
@@ -181,6 +193,7 @@ class TestFeasibilityCache:
         state = fresh_state(n_machines=6, apps=apps, machines_per_rack=3)
         cache = FeasibilityCache()
         cache.feasible_mask(state, DEMAND, app_id=5)
+        cache.feasible_mask(state, DEMAND, app_id=5)  # entry stored
         # One container of rack-scoped app 5 lands on machine 1: every
         # machine of rack 0 (machines 0-2) becomes infeasible for its
         # sibling even though only machine 1 is in the dirty log — the
@@ -199,14 +212,19 @@ class TestFeasibilityCache:
         deploy(state_b, app_id=2, machine_id=0, cpu=8.0, mem=16.0)
         cache = FeasibilityCache()
         cache.feasible_mask(state_a, DEMAND, app_id=0)
+        cache.feasible_mask(state_a, DEMAND, app_id=0)  # stored for a
+        assert len(cache) == 1
         mask = cache.feasible_mask(state_b, DEMAND, app_id=0)
         assert np.array_equal(mask, state_b.feasible_mask(DEMAND, 0))
-        assert len(cache) == 1  # state_a's entry was dropped
+        assert len(cache) == 0  # state_a's entry and sightings dropped
+        cache.feasible_mask(state_b, DEMAND, app_id=0)
+        assert len(cache) == 1  # the recurrence re-stores against b
 
     def test_compacted_log_degrades_to_full_recompute(self):
         state = fresh_state(n_machines=2, apps=UNCONSTRAINED)
         cache = FeasibilityCache()
         cache.feasible_mask(state, DEMAND, app_id=0)
+        cache.feasible_mask(state, DEMAND, app_id=0)  # entry stored
         for _ in range(state._log_limit + 10):
             state.touch(0)
         cache.invalidations = 0
@@ -221,7 +239,47 @@ class TestFeasibilityCache:
         state = fresh_state(apps=UNCONSTRAINED)
         cache.feasible_mask(state, DEMAND, app_id=0)
         cache.feasible_mask(state, DEMAND, app_id=0)
-        assert cache.hit_rate == pytest.approx(0.5)
+        cache.feasible_mask(state, DEMAND, app_id=0)
+        assert cache.hit_rate == pytest.approx(1 / 3)
+
+    def test_gap_cost_model_recomputes_wholesale(self):
+        # An entry whose version gap exceeds the cost-model threshold
+        # (max(SYNC_GAP_FLOOR, n/8)) is recomputed from scratch
+        # (misses = invalidations = n) instead of slicing and deduping
+        # the dirty log — and the verdicts stay exact either way.
+        state = fresh_state(n_machines=4, apps=UNCONSTRAINED)
+        cache = FeasibilityCache()
+        cache.feasible_mask(state, DEMAND, app_id=0)
+        cache.feasible_mask(state, DEMAND, app_id=0)  # entry stored
+        cid = deploy(state, app_id=2, machine_id=3, cpu=8.0, mem=16.0)
+        threshold = max(
+            FeasibilityCache.SYNC_GAP_FLOOR, state.n_machines >> 3
+        )
+        for _ in range(threshold):  # push the gap past the threshold
+            state.touch(0)
+        cache.hits = cache.misses = cache.invalidations = 0
+        mask = cache.feasible_mask(state, DEMAND, app_id=0)
+        n = state.n_machines
+        assert (cache.hits, cache.misses, cache.invalidations) == (0, n, n)
+        assert np.array_equal(mask, state.feasible_mask(DEMAND, 0))
+        # A small gap still syncs incrementally.
+        state.evict(cid)
+        cache.hits = cache.misses = 0
+        cache.feasible_mask(state, DEMAND, app_id=0)
+        assert cache.misses == 1 and cache.hits == n - 1
+
+    def test_checkpoint_preserves_reuse_sightings(self):
+        # A shape seen once before the checkpoint must store on its
+        # first sighting after restore, exactly as the uninterrupted
+        # cache would — otherwise resumed runs drift observably.
+        state = fresh_state(apps=UNCONSTRAINED)
+        cache = FeasibilityCache()
+        cache.feasible_mask(state, DEMAND, app_id=0)
+        assert len(cache) == 0
+        back = FeasibilityCache()
+        back.restore(cache.checkpoint(), state.state_uid)
+        back.feasible_mask(state, DEMAND, app_id=0)
+        assert len(back) == 1
 
 
 # ----------------------------------------------------------------------
@@ -306,4 +364,9 @@ class TestRescueInvalidation:
         )
         assert results[1].migrations >= 1
         assert results[1].n_undeployed == 0
-        assert engine.feas_cache.invalidations > 0
+        # Under the reuse gate the 24/48 arrival's shape is one-shot:
+        # its post-rescue re-query is the shape's second sighting, a
+        # *fresh* recompute rather than an invalidation — the rescue's
+        # mutations are seen either way, which the zero-failure outcome
+        # and the cached ≡ cold comparison above prove.
+        assert engine.feas_cache.misses > 0

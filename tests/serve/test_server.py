@@ -58,6 +58,29 @@ class TestWindows:
         # gone — the reply reports it departed rather than erroring
         assert reply["status"] == "ok" and reply["departed"] == 1
 
+    def test_departure_batching_under_a_served_window(
+        self, served, serve_trace
+    ):
+        """One served window's departures commit as a single batched
+        eviction: mixed present/absent/duplicate ids behave exactly
+        like the simulator's tick loop, and the recorded sample counts
+        only the containers actually evicted."""
+        server, client = served
+        batch = serve_trace.containers[:6]
+        placed = client.place(batch)["placements"]
+        victims = [int(cid) for cid in placed][:3]
+        ghost = 999_999
+        reply = client.depart(victims + [ghost, victims[0]])
+        assert reply["status"] == "ok"
+        for cid in victims:
+            assert cid not in server.state.assignment
+        sample = server.result.samples[-1]
+        assert sample.departed_containers == len(victims)
+        # The profiling layer covers served windows too — the same
+        # shared apply_window timed the batched eviction.
+        assert "window_departures" in sample.phase_s
+        assert "window_record" in sample.phase_s
+
     def test_fault_displaces_and_replaces(self, served, serve_trace):
         server, client = served
         batch = serve_trace.containers[:8]

@@ -1,0 +1,139 @@
+"""Edge cases of the shared window logic (`repro.sim.online.apply_window`).
+
+One scheduling window — departures out, one scheduler round, a sample —
+is the unit both front-ends apply (the simulated tick loop and the live
+serving loop).  Its departure pass is batched
+(:meth:`~repro.cluster.state.ClusterState.evict_block`), so these tests
+pin the batching-sensitive edges: absent ids, a fault displacing a
+container that the same window departs, the empty window, and the
+per-phase timing contract of the profiling layer.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import AladdinScheduler
+from repro.cluster.state import ClusterState
+from repro.sim.faults import fail_machines
+from repro.sim.online import (
+    WINDOW_PHASES,
+    OnlineConfig,
+    OnlineResult,
+    apply_window,
+    pool_topology,
+    record_window,
+)
+from repro.trace import generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(scale=0.02, seed=0)
+
+
+@pytest.fixture
+def state(trace):
+    topology = pool_topology(trace, OnlineConfig())
+    return ClusterState(topology, trace.constraints)
+
+
+def place_first_apps(trace, state, n_apps=3):
+    """Schedule the first few applications; returns their containers."""
+    wanted = {a.app_id for a in trace.applications[:n_apps]}
+    batch = [c for c in trace.containers if c.app_id in wanted]
+    sample, schedule = apply_window(
+        AladdinScheduler(), state, tick=0, batch=batch
+    )
+    assert schedule is not None and schedule.n_undeployed == 0
+    return batch
+
+
+class TestDepartureBatching:
+    def test_absent_ids_are_skipped(self, trace, state):
+        batch = place_first_apps(trace, state)
+        ids = [c.container_id for c in batch[:4]]
+        ghost = max(c.container_id for c in trace.containers) + 1000
+        sample, _ = apply_window(
+            AladdinScheduler(), state, tick=1,
+            departures=ids + [ghost, ids[0]],  # absent + already-listed
+        )
+        # ids[0] appears twice: evicted once, absent on the second pass
+        # of the same block; the ghost was never deployed at all.
+        assert sample.departed_containers == len(ids)
+        for cid in ids:
+            assert cid not in state.assignment
+
+    def test_fault_displaced_container_departing_same_window(
+        self, trace, state
+    ):
+        """A departure racing a fault: the container is already gone
+        from the state when the window's departure pass runs, and must
+        be skipped rather than double-evicted."""
+        batch = place_first_apps(trace, state, n_apps=8)
+        victim_cid = batch[0].container_id
+        victim_machine = state.assignment[victim_cid]
+        report = fail_machines(state, [victim_machine])
+        displaced = {c.container_id for c in report.displaced}
+        assert victim_cid in displaced
+        survivor = next(
+            c.container_id for c in batch
+            if c.container_id in state.assignment
+            and state.assignment[c.container_id] != victim_machine
+        )
+        sample, _ = apply_window(
+            AladdinScheduler(), state, tick=1,
+            departures=[victim_cid, survivor],
+        )
+        assert sample.departed_containers == 1  # only the survivor
+        assert survivor not in state.assignment
+
+    def test_empty_window_is_inert(self, state):
+        version_before = state.version
+        sample, schedule = apply_window(AladdinScheduler(), state, tick=0)
+        assert schedule is None
+        assert sample.arrived_containers == 0
+        assert sample.departed_containers == 0
+        assert state.version == version_before
+
+
+class TestWindowPhases:
+    def test_sample_carries_window_phase_times(self, trace, state):
+        placed = place_first_apps(trace, state)
+        next_app = trace.applications[3].app_id
+        arrivals = [c for c in trace.containers if c.app_id == next_app]
+        sample, schedule = apply_window(
+            AladdinScheduler(), state, tick=1,
+            departures=[placed[0].container_id], batch=arrivals,
+        )
+        assert "window_departures" in sample.phase_s
+        assert "window_sample" in sample.phase_s
+        # Scheduler phases ride along on scheduling windows.
+        assert "search" in sample.phase_s
+        result = OnlineResult()
+        record_window(result, sample, schedule)
+        assert "window_record" in sample.phase_s
+        for name in WINDOW_PHASES:
+            assert name in result.telemetry.phase_time_s
+        # Folding is double-count-free: the run-level window phases
+        # equal this (single) sample's, and the scheduler phases came
+        # in via the telemetry merge only.
+        assert result.telemetry.phase_time_s["window_departures"] == (
+            sample.phase_s["window_departures"]
+        )
+        assert result.telemetry.phase_time_s["search"] == pytest.approx(
+            schedule.telemetry.phase_time_s["search"]
+        )
+
+    def test_phase_times_stay_out_of_canonical_json(self, trace, state):
+        batch = place_first_apps(trace, state)
+        sample, schedule = apply_window(
+            AladdinScheduler(), state, tick=1,
+            departures=[batch[0].container_id],
+        )
+        result = OnlineResult()
+        record_window(result, sample, schedule)
+        payload = json.loads(result.canonical_json())
+        assert "phase_s" not in payload["samples"][0]
+        assert "phase_time_s" not in payload["telemetry"]

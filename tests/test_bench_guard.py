@@ -4,7 +4,16 @@
 full measurement in ``BENCH_fig12.json`` when run without ``--out``.
 The guard routes smoke output to ``BENCH_fig12_smoke.json`` by default
 and refuses an explicit ``--out BENCH_fig12.json`` unless forced.
+
+Also guards the committed ``BENCH_trace.json`` artefact itself: the
+churn fast path exists because that file once *documented* the cache
+losing to no-cache on its own home turf (churn-storm, 940 ms vs
+742 ms).  The committed measurement must never regress to that state
+again.
 """
+
+import json
+from pathlib import Path
 
 import pytest
 
@@ -75,6 +84,57 @@ def test_smoke_refuses_either_committed_artefact():
         for mode in ("fig12", "rescue", "solver"):
             with pytest.raises(SystemExit, match="refusing to overwrite"):
                 resolve_out(name, smoke=True, force=False, mode=mode)
+
+
+class TestCommittedTraceArtifact:
+    """The committed BENCH_trace.json must tell the churn-fast-path story."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        path = Path(__file__).resolve().parent.parent / "BENCH_trace.json"
+        with path.open() as fh:
+            return json.load(fh)
+
+    def test_cache_pays_for_itself_on_churn_storm(self, report):
+        # The regression this PR fixed: full (cache on) must not lose
+        # to no-cache on the scenario built to stress the cache.  The
+        # recorded ratio and the row wall times must agree.
+        storm = report["scenarios"]["churn-storm"]
+        variants = storm["variants"]
+        assert (
+            variants["full"]["wall_time_ms"]
+            <= variants["no-cache"]["wall_time_ms"]
+        )
+        assert storm["full_vs_no_cache_ratio"] <= 1.0
+
+    def test_every_scenario_records_the_ratio(self, report):
+        for name, scenario in report["scenarios"].items():
+            assert "full_vs_no_cache_ratio" in scenario, name
+            variants = scenario["variants"]
+            expected = (
+                variants["full"]["wall_time_ms"]
+                / variants["no-cache"]["wall_time_ms"]
+            )
+            assert scenario["full_vs_no_cache_ratio"] == pytest.approx(
+                expected, abs=1e-3
+            ), name
+
+    def test_phase_breakdowns_present(self, report):
+        # Satellite (a): every variant row carries the per-phase wall
+        # breakdown, and the window phases are in it (scheduler phases
+        # appear whenever any tick scheduled, which every scenario does).
+        for name, scenario in report["scenarios"].items():
+            for vname, row in scenario["variants"].items():
+                phases = row["phase_time_s"]
+                assert phases, f"{name}/{vname}: empty phase_time_s"
+                for phase in ("window_departures", "window_sample",
+                              "window_record", "search"):
+                    assert phase in phases, f"{name}/{vname}: {phase}"
+                assert all(dt >= 0 for dt in phases.values())
+
+    def test_decisions_identical_everywhere(self, report):
+        for name, scenario in report["scenarios"].items():
+            assert scenario["decisions_identical"] is True, name
 
 
 def test_host_info_stamps_provenance():
