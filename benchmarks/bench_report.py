@@ -475,6 +475,7 @@ def resolve_out(out: str | None, smoke: bool, force: bool, mode: str = "fig12") 
         "serve": "BENCH_serve.json",
         "solver": "BENCH_solver.json",
         "trace": "BENCH_trace.json",
+        "power": "BENCH_power.json",
     }
     if out is None:
         base = committed[mode]
@@ -493,7 +494,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--mode",
                         choices=("fig12", "rescue", "restore", "serve",
-                                 "solver", "trace"),
+                                 "solver", "trace", "power"),
                         default="fig12",
                         help="fig12: cumulative ablation trajectory; "
                              "rescue: tight-cluster rescue-path kernel "
@@ -506,7 +507,11 @@ def main(argv: list[str] | None = None) -> int:
                              "batch kernel at 4k/12k machines; trace: "
                              "Azure-scenario sweep (diurnal/burst/churn-"
                              "storm/mixed-lla vs the LLA-only baseline) "
-                             "across the cache/batch/workers axes")
+                             "across the cache/batch/workers axes; "
+                             "power: machine-hours and cold-start rate "
+                             "per keep-alive policy with the "
+                             "autoscaling lifecycle on "
+                             "(diurnal/churn-storm vs always-on)")
     parser.add_argument("--scale", type=float, default=0.05,
                         help="trace scale (default 0.05 -> 4000 machines "
                              "under the default pool factor)")
@@ -551,6 +556,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--n-functions", type=int, default=160,
                         help="trace mode: synthetic-fallback dataset "
                              "size")
+    parser.add_argument("--power-pool-factor", type=float, default=2.5,
+                        help="power mode machine pool factor: provisions "
+                             "for peak concurrency plus cold-start "
+                             "lifetime inflation; the lifecycle powers "
+                             "the surplus down, always-on pays for it")
     parser.add_argument("--serve-pool-factor", type=float, default=20.0,
                         help="serve mode machine pool factor (20.0 puts "
                              "the default 0.05-scale trace at 10,000 "
@@ -573,11 +583,19 @@ def main(argv: list[str] | None = None) -> int:
         args.duration, args.clients = 2.0, 4
         args.solver_scales, args.window_sizes = (0.02,), (32,)
         args.trace_ticks, args.n_functions = 16, 64
-        if args.mode == "trace":
+        if args.mode in ("trace", "power"):
             args.scale = 0.01
     out = resolve_out(args.out, args.smoke, args.force, mode=args.mode)
 
-    if args.mode == "trace":
+    if args.mode == "power":
+        from benchmarks.bench_power import run_power_report
+
+        report = run_power_report(
+            args.scale, args.seed, args.trace_ticks, args.repeats,
+            n_functions=args.n_functions,
+            pool_factor=args.power_pool_factor,
+        )
+    elif args.mode == "trace":
         from benchmarks.bench_trace import run_trace_report
 
         report = run_trace_report(

@@ -186,6 +186,7 @@ def cmd_online(args) -> int:
             arrival_order=_order_from(args),
             seed=args.seed,
             scenario=scenario,
+            **_autoscale_kwargs(args),
         ),
     )
     scheduler = _aladdin_variant(args, factories)
@@ -222,6 +223,16 @@ def cmd_online(args) -> int:
           f"{result.total_departed}, failed {result.total_failed} "
           f"({result.failure_rate:.1%}), peak machines "
           f"{result.peak_used_machines}, migrations {result.total_migrations}")
+    if args.autoscale:
+        from repro.sim.metrics import power_metrics
+
+        pm = power_metrics(result, sim._topology.n_machines)
+        print(f"power: {pm.machine_ticks} machine-ticks "
+              f"(always-on {pm.always_on_machine_ticks}, "
+              f"{pm.savings_pct:.1f}% saved), peak powered "
+              f"{pm.peak_powered}, warm hits {pm.warm_hits}, "
+              f"cold starts {pm.cold_starts} "
+              f"({pm.cold_start_rate:.1%} of arrivals)")
     tele = result.telemetry
     if tele.counters() != type(tele)().counters():
         print(f"telemetry: {tele.summary()}")
@@ -326,6 +337,7 @@ def cmd_serve(args) -> int:
 
     from repro.cluster.state import ClusterState
     from repro.serve import PlacementServer, ServeConfig
+    from repro.sim.lifecycle import lifecycle_from_config
     from repro.sim.online import OnlineConfig, pool_topology
 
     trace, scenario = _workload_trace(args)
@@ -340,8 +352,10 @@ def cmd_serve(args) -> int:
         seed=args.seed,
         machine_pool_factor=args.pool_factor,
         scenario=scenario,
+        **_autoscale_kwargs(args),
     )
     topology = pool_topology(trace, online_cfg)
+    lifecycle = lifecycle_from_config(trace, online_cfg, topology.n_machines)
     serve_cfg = ServeConfig(
         max_queue=args.max_queue,
         window_max=args.window_max,
@@ -365,12 +379,12 @@ def cmd_serve(args) -> int:
     if args.restore:
         server = PlacementServer.restore(
             args.restore, scheduler, topology, trace.constraints,
-            serve_cfg, on_window=on_window,
+            serve_cfg, on_window=on_window, lifecycle=lifecycle,
         )
     else:
         server = PlacementServer(
             scheduler, ClusterState(topology, trace.constraints),
-            serve_cfg, on_window=on_window,
+            serve_cfg, on_window=on_window, lifecycle=lifecycle,
         )
     print(f"serving on {args.socket}: {topology.n_machines} machines, "
           f"scheduler {scheduler.name}, queue bound {args.max_queue}, "
@@ -469,6 +483,65 @@ def _add_variant_args(parser: argparse.ArgumentParser) -> None:
                              "JSON after the run")
 
 
+def _add_autoscale_args(parser: argparse.ArgumentParser) -> None:
+    """Warm-pool / power-lifecycle knobs shared by ``online`` and
+    ``serve``.  All of them are inert without ``--autoscale`` — the
+    default-off run stays bit-identical to a build without the feature.
+    """
+    from repro.sim.lifecycle import KEEP_ALIVE_CHOICES
+
+    parser.add_argument("--autoscale", action="store_true",
+                        help="enable the machine power lifecycle (drain "
+                             "idle machines to off, wake on demand) and "
+                             "the warm container pool; off by default "
+                             "and bit-identical to today's runs when "
+                             "off")
+    parser.add_argument("--keep-alive", default="fixed",
+                        choices=list(KEEP_ALIVE_CHOICES),
+                        help="warm-pool keep-alive policy (with "
+                             "--autoscale): fixed window, ttl "
+                             "(refresh-on-hit), lru (evict-oldest on "
+                             "overflow), or none (no pool — every "
+                             "function placement cold-starts)")
+    parser.add_argument("--keep-alive-ticks", type=int, default=4,
+                        metavar="N",
+                        help="ticks a pooled container stays warm "
+                             "(default 4)")
+    parser.add_argument("--pool-capacity", type=int, default=256,
+                        metavar="N",
+                        help="most containers the warm pool parks at "
+                             "once (default 256)")
+    parser.add_argument("--cold-start-ticks", type=int, default=2,
+                        metavar="N",
+                        help="extra lifetime ticks a cold-started "
+                             "function container occupies (default 2)")
+    parser.add_argument("--drain-ticks", type=int, default=1, metavar="N",
+                        help="ticks a draining machine lingers before "
+                             "powering off (default 1)")
+    parser.add_argument("--min-on", type=int, default=1, metavar="N",
+                        help="machines the drain planner always keeps "
+                             "powered (default 1)")
+    parser.add_argument("--power-headroom", type=float, default=1.0,
+                        metavar="X",
+                        help="spare capacity the planner keeps, in "
+                             "mean-machine-CPU units (default 1.0)")
+
+
+def _autoscale_kwargs(args) -> dict:
+    """The :class:`~repro.sim.online.OnlineConfig` kwargs carried by
+    the ``--autoscale`` flag family."""
+    return {
+        "autoscale": args.autoscale,
+        "keep_alive": args.keep_alive,
+        "keep_alive_ticks": args.keep_alive_ticks,
+        "pool_capacity": args.pool_capacity,
+        "cold_start_ticks": args.cold_start_ticks,
+        "drain_ticks": args.drain_ticks,
+        "min_on": args.min_on,
+        "power_headroom": args.power_headroom,
+    }
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -513,6 +586,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--order", default="trace",
                    choices=[o.value for o in ArrivalOrder])
     _add_variant_args(p)
+    _add_autoscale_args(p)
     p.add_argument("--checkpoint", metavar="PATH",
                    help="write a crash-consistent snapshot to PATH "
                         "every --checkpoint-every ticks")
@@ -548,6 +622,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="machine pool headroom over the trace's nominal "
                         "cluster (default 1.2)")
     _add_variant_args(p)
+    _add_autoscale_args(p)
     p.add_argument("--max-queue", type=int, default=1024,
                    help="admission bound: requests beyond this many "
                         "queued are rejected 429-style (default 1024)")

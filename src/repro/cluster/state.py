@@ -489,12 +489,16 @@ class ClusterState:
                     f"deployed on machine "
                     f"{assignment[container.container_id]}"
                 )
-        np.subtract.at(self.available, idx, demand)
         touched = np.unique(idx)
+        # Snapshot the touched rows before mutating: rolling back by
+        # re-adding the demand is not bit-exact in floating point
+        # (a - b + b need not equal a), restoring the snapshot is.
+        before = self.available[touched].copy()
+        np.subtract.at(self.available, idx, demand)
         short = (self.available[touched] < 0.0).any(axis=1)
         if short.any():
             bad = touched[short].tolist()
-            np.add.at(self.available, idx, demand)
+            self.available[touched] = before
             raise ValueError(
                 f"deploy_block plan overcommits machines {bad}: the "
                 "caller must establish feasibility before the block "

@@ -1,0 +1,250 @@
+"""Warm container pools with interchangeable keep-alive policies.
+
+Serverless platforms keep finished containers resident for a while so
+a re-invocation of the same function skips the cold start.  The pool
+here models exactly that: a departed container can be *stashed*
+(parked on its machine, still holding capacity) instead of evicted,
+and a later arrival with the same pool key can *claim* it — reusing
+the warm slot and paying no cold-start penalty.
+
+All three keep-alive policies from the serverless literature sit
+behind one eviction interface, ``evict_before(t)``:
+
+``fixed``
+    Classic fixed keep-alive: every stashed container lives exactly
+    ``keep_alive_ticks`` from its stash time.
+``ttl``
+    Sliding TTL: a warm *hit* on a key refreshes the deadline of that
+    key's remaining entries — hot functions stay warm indefinitely,
+    cold ones age out.
+``lru``
+    Fixed deadline plus a hard capacity bound; when the pool is full
+    the least-recently-stashed entry is evicted to make room.
+
+The implementation is a single min-heap keyed by eviction deadline
+with lazy deletion (claimed or discarded entries stay in the heap and
+are skipped when popped), so ``evict_before`` is O(expired · log n)
+regardless of policy.  Claims are LIFO (newest stash first) — the
+standard warm-start order, since the most recently used sandbox is
+the most likely to still be cache-hot.
+
+Determinism: every structure iterates in insertion order (dicts) or
+deadline order (heap, tie-broken by a monotonic sequence number), so
+a run's pool decisions are bit-reproducible and survive
+checkpoint/restore.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+#: recognised keep-alive policies
+POLICIES = ("fixed", "ttl", "lru")
+
+
+class WarmPool:
+    """Pool of parked containers, keyed by function identity."""
+
+    def __init__(
+        self,
+        policy: str = "fixed",
+        keep_alive_ticks: int = 4,
+        capacity: int = 256,
+    ):
+        if policy not in POLICIES:
+            raise ValueError(
+                f"unknown keep-alive policy {policy!r}; pick from {POLICIES}"
+            )
+        if keep_alive_ticks < 1:
+            raise ValueError("keep_alive_ticks must be >= 1")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.policy = policy
+        self.keep_alive_ticks = keep_alive_ticks
+        self.capacity = capacity
+        #: (evict_at, seq, cid) min-heap; stale entries skipped lazily
+        self._heap: list[tuple[int, int, int]] = []
+        #: cid -> (key, machine_id, stash_seq) for live entries
+        self._entries: dict[int, tuple[object, int, int]] = {}
+        #: key -> {cid: None} in stash order (dict used as ordered set)
+        self._by_key: dict[object, dict[int, None]] = {}
+        #: ttl only: key -> refreshed deadline from the last hit
+        self._refresh: dict[object, int] = {}
+        self._seq = 0
+        # counters (fingerprint-relevant telemetry)
+        self.stashed = 0
+        self.hits = 0
+        self.expired = 0
+        self.overflowed = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def stash(self, key, cid: int, machine_id: int, tick: int) -> list[int]:
+        """Park ``cid`` on its machine under ``key``.
+
+        Returns container ids evicted to make room (LRU policy only;
+        the caller must evict them from cluster state).
+        """
+        victims: list[int] = []
+        if self.policy == "lru":
+            while len(self._entries) >= self.capacity:
+                victim = self._oldest()
+                if victim is None:
+                    break
+                self._remove(victim)
+                self.overflowed += 1
+                victims.append(victim)
+        elif len(self._entries) >= self.capacity:
+            # fixed/ttl: a full pool simply refuses the stash; caller
+            # evicts the container as it would without a pool.
+            self.overflowed += 1
+            victims.append(cid)
+            return victims
+        deadline = tick + self.keep_alive_ticks
+        self._seq += 1
+        self._entries[cid] = (key, machine_id, self._seq)
+        self._by_key.setdefault(key, {})[cid] = None
+        heapq.heappush(self._heap, (deadline, self._seq, cid))
+        self.stashed += 1
+        return victims
+
+    def claim(
+        self,
+        key,
+        tick: int,
+        accept: Callable[[int, int], bool] | None = None,
+    ) -> tuple[int, int] | None:
+        """Take the newest pooled container for ``key``.
+
+        ``accept(cid, machine_id)`` can veto candidates (e.g. a
+        constraint check); the newest accepted entry is removed and
+        returned as ``(cid, machine_id)``.
+        """
+        bucket = self._by_key.get(key)
+        if not bucket:
+            return None
+        for cid in reversed(list(bucket)):
+            _, machine_id, _ = self._entries[cid]
+            if accept is not None and not accept(cid, machine_id):
+                continue
+            self._remove(cid)
+            self.hits += 1
+            if self.policy == "ttl":
+                # A hit keeps the whole key warm: entries that would
+                # expire before the refreshed deadline get re-pushed
+                # when popped in evict_before.
+                self._refresh[key] = tick + self.keep_alive_ticks
+            return cid, machine_id
+        return None
+
+    def evict_before(self, tick: int) -> list[int]:
+        """Pop every entry whose deadline is ``< tick``.
+
+        Returns expired container ids in deadline order; the caller
+        evicts them from cluster state.  This is the single interface
+        all policies share — policy differences live entirely in how
+        deadlines are assigned and refreshed.
+        """
+        out: list[int] = []
+        while self._heap and self._heap[0][0] < tick:
+            deadline, seq, cid = heapq.heappop(self._heap)
+            entry = self._entries.get(cid)
+            if entry is None or entry[2] != seq:
+                continue  # lazily deleted (claimed/discarded/re-pushed)
+            key = entry[0]
+            refreshed = self._refresh.get(key, 0) if self.policy == "ttl" else 0
+            if refreshed > deadline:
+                # Key was hit since this entry was pushed: extend it.
+                self._seq += 1
+                self._entries[cid] = (key, entry[1], self._seq)
+                heapq.heappush(self._heap, (refreshed, self._seq, cid))
+                continue
+            self._remove(cid)
+            self.expired += 1
+            out.append(cid)
+        return out
+
+    # ------------------------------------------------------------------
+    def pooled_on(self, machine_id: int) -> list[int]:
+        """Container ids currently parked on ``machine_id``."""
+        return [
+            cid for cid, (_, m, _) in self._entries.items() if m == machine_id
+        ]
+
+    def by_machine(self) -> dict[int, list[int]]:
+        """machine_id -> pooled cids, insertion-ordered."""
+        out: dict[int, list[int]] = {}
+        for cid, (_, m, _) in self._entries.items():
+            out.setdefault(m, []).append(cid)
+        return out
+
+    def discard(self, cid: int) -> bool:
+        """Drop ``cid`` without counting it as expired (e.g. its
+        machine was reclaimed by the drain planner or failed)."""
+        if cid not in self._entries:
+            return False
+        self._remove(cid)
+        return True
+
+    def _oldest(self) -> int | None:
+        for cid in self._entries:
+            return cid
+        return None
+
+    def _remove(self, cid: int) -> None:
+        key, _, _ = self._entries.pop(cid)
+        bucket = self._by_key.get(key)
+        if bucket is not None:
+            bucket.pop(cid, None)
+            if not bucket:
+                del self._by_key[key]
+
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        return {
+            "policy": self.policy,
+            "keep_alive_ticks": self.keep_alive_ticks,
+            "capacity": self.capacity,
+            # Live heap entries only (lazy-deleted ones are noise);
+            # keys are JSON-encoded as lists by the caller's serializer
+            # and restored verbatim below.
+            "heap": sorted(
+                (d, s, c) for d, s, c in self._heap
+                if self._entries.get(c, (None, None, -1))[2] == s
+            ),
+            "entries": [
+                [cid, list(key) if isinstance(key, tuple) else key, m, s]
+                for cid, (key, m, s) in self._entries.items()
+            ],
+            "refresh": [
+                [list(key) if isinstance(key, tuple) else key, t]
+                for key, t in self._refresh.items()
+            ],
+            "seq": self._seq,
+            "stashed": self.stashed,
+            "hits": self.hits,
+            "expired": self.expired,
+            "overflowed": self.overflowed,
+        }
+
+    def restore(self, payload: dict) -> None:
+        def dekey(key):
+            return tuple(key) if isinstance(key, list) else key
+
+        self._heap = [tuple(item) for item in payload["heap"]]
+        heapq.heapify(self._heap)
+        self._entries = {}
+        self._by_key = {}
+        for cid, key, m, s in payload["entries"]:
+            key = dekey(key)
+            self._entries[int(cid)] = (key, int(m), int(s))
+            self._by_key.setdefault(key, {})[int(cid)] = None
+        self._refresh = {dekey(k): int(t) for k, t in payload["refresh"]}
+        self._seq = int(payload["seq"])
+        self.stashed = int(payload["stashed"])
+        self.hits = int(payload["hits"])
+        self.expired = int(payload["expired"])
+        self.overflowed = int(payload["overflowed"])

@@ -19,7 +19,11 @@ import socket
 import time
 
 from repro.serve.protocol import container_to_wire, recv_frame, send_frame
-from repro.sim.online import OnlineConfig, arrival_schedule
+from repro.sim.online import (
+    OnlineConfig,
+    arrival_schedule,
+    lifecycle_horizon_tail,
+)
 from repro.trace.schema import Trace
 
 
@@ -174,7 +178,11 @@ def replay_online_schedule(
     idx = 0
     if decisions is None:
         decisions = {}
-    for tick in range(sched.horizon):
+    # Autoscale runs outlive the nominal horizon: cold-start penalties
+    # push departures later and pooled containers drain one keep-alive
+    # after the last departure — the same stretch the simulator applies.
+    horizon = sched.horizon + lifecycle_horizon_tail(config)
+    for tick in range(horizon):
         deps = departures.pop(tick, ())
         batch = []
         while idx < len(sched.apps) and sched.arrival_tick[idx] <= tick:
@@ -194,10 +202,22 @@ def replay_online_schedule(
             decisions[tick] = reply
 
         placed = reply["placements"]
+        penalties = reply.get("penalties", {})
         for c in batch:
-            if str(c.container_id) in placed:
-                end = tick + sched.life_of[c.app_id]
+            cid = str(c.container_id)
+            if cid in placed:
+                # Same booking rule as the simulator: a cold start
+                # extends the container's residency.
+                end = (
+                    tick
+                    + sched.life_of[c.app_id]
+                    + penalties.get(cid, 0)
+                )
                 departures.setdefault(end, []).append(c.container_id)
-        if idx >= len(sched.apps) and not departures:
+        if (
+            idx >= len(sched.apps)
+            and not departures
+            and reply.get("pool", 0) == 0
+        ):
             break
     return decisions

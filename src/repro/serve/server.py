@@ -124,11 +124,16 @@ class PlacementServer:
         config: ServeConfig | None = None,
         *,
         on_window=None,
+        lifecycle=None,
     ) -> None:
         self.scheduler = scheduler
         self.state = state
         self.config = config if config is not None else ServeConfig()
         self.on_window = on_window
+        #: optional :class:`~repro.sim.lifecycle.LifecycleRuntime` —
+        #: served windows then run the same pool/power phases the
+        #: simulator's autoscale windows do
+        self.lifecycle = lifecycle
         self.telemetry = ServiceTelemetry()
         #: the run so far, in the simulator's result shape — served and
         #: simulated runs over the same stream compare via canonical_json
@@ -159,6 +164,11 @@ class PlacementServer:
         return {
             "n_machines": self.state.n_machines,
             "scheduler": self.scheduler.name,
+            "lifecycle": (
+                self.lifecycle.fingerprint()
+                if self.lifecycle is not None
+                else None
+            ),
         }
 
     def write_checkpoint(self, path: str) -> None:
@@ -171,6 +181,11 @@ class PlacementServer:
             "engine": take() if callable(take) else None,
             "result": self.result,
             "decisions": dict(self.decisions),
+            "lifecycle": (
+                self.lifecycle.checkpoint()
+                if self.lifecycle is not None
+                else None
+            ),
         }
         write_snapshot(path, payload, kind=SNAPSHOT_KIND)
 
@@ -184,17 +199,23 @@ class PlacementServer:
         config: ServeConfig | None = None,
         *,
         on_window=None,
+        lifecycle=None,
     ) -> "PlacementServer":
         """Rebuild a server warm from a :meth:`write_checkpoint` snapshot.
 
         The scheduler's cross-round ledgers resync from the persisted
         dirty-log watermark exactly as the online simulator's restore
         path does; a SIGKILLed server restarted this way continues with
-        the committed window's state, counters and decision log.
+        the committed window's state, counters and decision log.  A
+        snapshot taken with a lifecycle runtime requires a matching
+        ``lifecycle`` (same knobs — enforced by the fingerprint); its
+        power states and pool heap restore with it.
         """
         payload = read_snapshot(path, kind=SNAPSHOT_KIND)
         state = ClusterState.from_payload(payload["state"], topology, constraints)
-        server = cls(scheduler, state, config, on_window=on_window)
+        server = cls(
+            scheduler, state, config, on_window=on_window, lifecycle=lifecycle
+        )
         expected = server._fingerprint()
         if payload["fingerprint"] != expected:
             raise SnapshotError(
@@ -207,6 +228,8 @@ class PlacementServer:
         adopt = getattr(scheduler, "restore_checkpoint", None)
         if payload["engine"] is not None and callable(adopt):
             adopt(payload["engine"], state)
+        if payload.get("lifecycle") is not None:
+            lifecycle.restore(payload["lifecycle"])
         return server
 
     # ------------------------------------------------------------------
@@ -419,34 +442,102 @@ class PlacementServer:
         gets its own ``error`` reply and is excluded from the window.
 
         The checks mirror exactly what would make the apply helpers
-        raise: :func:`fail_machines` rejects out-of-range machine ids,
-        :func:`repair_machines` rejects machines still hosting
-        containers.  Repair eligibility is exact against the
-        pre-window state because repairs apply first (before faults
-        evict anything) and repairs never add containers.
+        raise: :func:`fail_machines` rejects out-of-range ids, already
+        -down machines and duplicates; :func:`repair_machines` rejects
+        out-of-range ids, machines still hosting containers, and
+        machines that were never failed.  Repairs apply first (in
+        arrival order) and faults second, so eligibility is tracked
+        through the window: a repair makes its machine faultable again
+        within the same window, and two faults naming the same machine
+        reject the later one.
+
+        With a lifecycle runtime, machines the power planner holds in
+        ``draining``/``off`` are additionally off-limits to both —
+        powered-down is not failed, and a repair would silently undo
+        the planner's seal.
         """
         errors: dict[int, str] = {}
         n = self.state.n_machines
+        hosts = self.state.machine_containers
+        avail = self.state.available
+
+        def is_down(m: int) -> bool:
+            return not hosts.get(m) and not avail[m].any()
+
+        def powered_down(machines) -> list[int]:
+            if self.lifecycle is None:
+                return []
+            return [m for m in machines if not self.lifecycle.power.is_on(m)]
+
+        repaired: set[int] = set()
         for req, _writer in window:
-            rtype = req["type"]
-            if rtype not in ("fault", "repair"):
+            if req["type"] != "repair":
                 continue
             bad = [m for m in req["machines"] if not 0 <= m < n]
             if bad:
                 errors[id(req)] = (
-                    f"{rtype}: machines {bad} out of range "
+                    f"repair: machines {bad} out of range "
                     f"(cluster has {n} machines)"
                 )
-            elif rtype == "repair":
-                hosting = [
-                    m for m in req["machines"]
-                    if self.state.machine_containers.get(m)
-                ]
-                if hosting:
-                    errors[id(req)] = (
-                        f"repair: machines {hosting} host containers; "
-                        "they were not failed"
-                    )
+                continue
+            sealed = powered_down(req["machines"])
+            if sealed:
+                errors[id(req)] = (
+                    f"repair: machines {sealed} are powered down, "
+                    "not failed"
+                )
+                continue
+            hosting = [m for m in req["machines"] if hosts.get(m)]
+            if hosting:
+                errors[id(req)] = (
+                    f"repair: machines {hosting} host containers; "
+                    "they were not failed"
+                )
+                continue
+            healthy = [
+                m for m in req["machines"]
+                if m not in repaired and not is_down(m)
+            ]
+            if healthy:
+                errors[id(req)] = (
+                    f"repair: machines {healthy} are not failed"
+                )
+                continue
+            repaired.update(req["machines"])
+
+        faulted: set[int] = set()
+        for req, _writer in window:
+            if req["type"] != "fault":
+                continue
+            bad = [m for m in req["machines"] if not 0 <= m < n]
+            if bad:
+                errors[id(req)] = (
+                    f"fault: machines {bad} out of range "
+                    f"(cluster has {n} machines)"
+                )
+                continue
+            sealed = powered_down(req["machines"])
+            if sealed:
+                errors[id(req)] = (
+                    f"fault: machines {sealed} are powered down"
+                )
+                continue
+            seen: set[int] = set()
+            down = []
+            for m in req["machines"]:
+                if (
+                    m in seen
+                    or m in faulted
+                    or (is_down(m) and m not in repaired)
+                ):
+                    down.append(m)
+                seen.add(m)
+            if down:
+                errors[id(req)] = (
+                    f"fault: machines {down} are already failed"
+                )
+                continue
+            faulted.update(req["machines"])
         return errors
 
     def _apply_window(self, window) -> list:
@@ -502,10 +593,15 @@ class PlacementServer:
         sample, schedule = apply_window(
             self.scheduler, self.state,
             tick=tick, departures=departures, batch=batch,
+            lifecycle=self.lifecycle,
+        )
+        warm = self.lifecycle.last_warm if self.lifecycle is not None else {}
+        penalties = (
+            self.lifecycle.last_penalties if self.lifecycle is not None else {}
         )
         with self._commit_lock:
             record_window(self.result, sample, schedule)
-            self._log_decisions(tick, sample, schedule)
+            self._log_decisions(tick, sample, schedule, warm, penalties)
             self.windows += 1
 
         ckpt = None
@@ -521,28 +617,51 @@ class PlacementServer:
             self.on_window(tick, ckpt)
 
         return self._build_replies(
-            window, tick, sample, schedule, faulted, errors
+            window, tick, sample, schedule, faulted, errors, warm, penalties
         )
 
-    def _log_decisions(self, tick, sample, schedule: ScheduleResult | None):
-        self.decisions[tick] = {
-            "placements": {
-                str(cid): mid for cid, mid in schedule.placements.items()
-            } if schedule is not None else {},
+    def _log_decisions(
+        self,
+        tick,
+        sample,
+        schedule: ScheduleResult | None,
+        warm=(),
+        penalties=(),
+    ):
+        placements = {
+            str(cid): mid for cid, mid in schedule.placements.items()
+        } if schedule is not None else {}
+        # Warm-pool claims are placements too — they just never reached
+        # the scheduler.  Replay clients must see them to book departures.
+        for cid, mid in dict(warm).items():
+            placements[str(cid)] = mid
+        entry = {
+            "placements": placements,
             "undeployed": {
                 str(cid): reason.value
                 for cid, reason in schedule.undeployed.items()
             } if schedule is not None else {},
             "departed": sample.departed_containers,
         }
+        if self.lifecycle is not None:
+            entry["penalties"] = {
+                str(cid): t for cid, t in dict(penalties).items()
+            }
+            entry["pool"] = sample.pool_size
+        self.decisions[tick] = entry
         while len(self.decisions) > self.config.decision_log:
             self.decisions.pop(min(self.decisions))
 
     def _build_replies(
-        self, window, tick, sample, schedule, faulted, errors
+        self, window, tick, sample, schedule, faulted, errors,
+        warm=(), penalties=(),
     ) -> list:
-        placements = schedule.placements if schedule is not None else {}
+        placements = dict(
+            schedule.placements if schedule is not None else {}
+        )
+        placements.update(dict(warm))
         undeployed = schedule.undeployed if schedule is not None else {}
+        penalties = dict(penalties)
         out = []
         for req, writer in window:
             failed = errors.get(id(req))
@@ -565,6 +684,14 @@ class PlacementServer:
                     1 for cid in req.get("departures", ())
                     if cid not in self.state.assignment
                 )
+                if self.lifecycle is not None:
+                    reply["penalties"] = {
+                        str(cid): penalties[cid] for cid in mine
+                        if cid in penalties
+                    }
+                    # Replay clients use the pool size to know when the
+                    # run has fully drained.
+                    reply["pool"] = sample.pool_size
             elif rtype == "depart":
                 reply["departed"] = sum(
                     1 for cid in req["containers"]

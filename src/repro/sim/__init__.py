@@ -7,7 +7,14 @@ scheduler and a :class:`~repro.cluster.state.ClusterState`, then derives
 every metric the evaluation section reports.
 """
 
-from repro.sim.metrics import SimulationMetrics, compute_metrics, relative_efficiency
+from repro.sim.metrics import (
+    PowerMetrics,
+    SimulationMetrics,
+    compute_metrics,
+    power_metrics,
+    relative_efficiency,
+)
+from repro.sim.lifecycle import LifecycleConfig, LifecycleRuntime
 from repro.sim.results import SimulationResult
 from repro.sim.simulator import Simulator
 from repro.sim.runner import (
@@ -26,8 +33,12 @@ from repro.sim.faults import (
 from repro.sim.online import OnlineConfig, OnlineResult, OnlineSimulator, TickSample
 
 __all__ = [
+    "LifecycleConfig",
+    "LifecycleRuntime",
+    "PowerMetrics",
     "SimulationMetrics",
     "compute_metrics",
+    "power_metrics",
     "relative_efficiency",
     "SimulationResult",
     "Simulator",

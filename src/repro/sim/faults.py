@@ -53,17 +53,42 @@ class FaultReport:
         return worst
 
 
+def machine_is_down(state: ClusterState, machine_id: int) -> bool:
+    """True when a machine admits nothing and hosts nothing.
+
+    This is the state :func:`fail_machines` leaves a victim in (and the
+    state a powered-off machine of
+    :class:`repro.cluster.power.PowerManager` presents): an all-zero
+    ``available`` row with no residents.  A fully packed machine also
+    reads all-zero but still hosts containers, so it is *not* down.
+    """
+    return (
+        not state.machine_containers.get(machine_id)
+        and not state.available[machine_id].any()
+    )
+
+
 def fail_machines(state: ClusterState, machine_ids: list[int]) -> FaultReport:
     """Kill machines: evict their containers and zero their capacity.
 
     The machines stay in the topology (ids are stable) but admit no
     further placements; :func:`repair_machines` restores them.
+
+    The whole list is validated before anything mutates — every id must
+    be in range (``IndexError``) and name a machine that is not already
+    down, with no duplicates (``ValueError``) — so a bad id at position
+    k can no longer leave machines ``0..k-1`` half-failed.
     """
-    displaced: list[Container] = []
-    blast: dict[int, int] = {}
+    seen: set[int] = set()
     for machine_id in machine_ids:
         if not 0 <= machine_id < state.n_machines:
             raise IndexError(f"machine {machine_id} out of range")
+        if machine_id in seen or machine_is_down(state, machine_id):
+            raise ValueError(f"machine {machine_id} is already failed")
+        seen.add(machine_id)
+    displaced: list[Container] = []
+    blast: dict[int, int] = {}
+    for machine_id in machine_ids:
         for cid in list(state.machine_containers.get(machine_id, ())):
             container = state.evict(cid)
             displaced.append(container)
@@ -80,12 +105,28 @@ def fail_machines(state: ClusterState, machine_ids: list[int]) -> FaultReport:
 
 
 def repair_machines(state: ClusterState, machine_ids: list[int]) -> None:
-    """Bring failed machines back empty at full capacity."""
+    """Bring failed machines back empty at full capacity.
+
+    Validates the whole list before anything mutates, mirroring
+    :func:`fail_machines`: out-of-range ids raise ``IndexError`` (a
+    negative id no longer wraps around and silently "repairs" the last
+    machine), machines still hosting containers raise ``ValueError``
+    (unchanged semantics), and so does repairing a machine that was
+    never failed — its capacity row is not all-zero, so there is
+    nothing to restore and the call was almost certainly a bug.
+    """
+    seen: set[int] = set()
     for machine_id in machine_ids:
+        if not 0 <= machine_id < state.n_machines:
+            raise IndexError(f"machine {machine_id} out of range")
         if state.machine_containers.get(machine_id):
             raise ValueError(
                 f"machine {machine_id} hosts containers; it was not failed"
             )
+        if machine_id not in seen and state.available[machine_id].any():
+            raise ValueError(f"machine {machine_id} is not failed")
+        seen.add(machine_id)
+    for machine_id in machine_ids:
         state.available[machine_id] = state.topology.capacity[machine_id]
         state.touch(machine_id)
 

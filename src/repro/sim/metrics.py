@@ -161,6 +161,64 @@ def compute_metrics(
     )
 
 
+@dataclass(frozen=True)
+class PowerMetrics:
+    """Energy/cost view of an online run — the Fig. 10 machine curve
+    integrated over time.
+
+    ``machine_ticks`` sums powered (on + draining) machines per sampled
+    tick; samples without lifecycle telemetry (autoscale off) count the
+    full cluster, so the always-on baseline and an autoscale run read
+    through the same accessor.  ``cold_start_rate`` is cold starts per
+    arrived container.
+    """
+
+    machine_ticks: int
+    always_on_machine_ticks: int
+    savings_pct: float
+    peak_powered: int
+    warm_hits: int
+    cold_starts: int
+    cold_start_rate: float
+
+    def row(self) -> dict[str, object]:
+        return dict(self.__dict__)
+
+
+def power_metrics(result, n_machines: int) -> PowerMetrics:
+    """Fold an :class:`~repro.sim.online.OnlineResult`'s per-tick power
+    telemetry into one :class:`PowerMetrics`."""
+    machine_ticks = 0
+    peak = 0
+    warm_hits = 0
+    cold_starts = 0
+    for s in result.samples:
+        if s.powered_machines is None:
+            powered = n_machines
+        else:
+            powered = s.powered_machines + s.draining_machines
+            warm_hits += s.warm_hits
+            cold_starts += s.cold_starts
+        machine_ticks += powered
+        peak = max(peak, powered)
+    always_on = n_machines * len(result.samples)
+    savings = (
+        100.0 * (1.0 - machine_ticks / always_on) if always_on else 0.0
+    )
+    rate = (
+        cold_starts / result.total_arrived if result.total_arrived else 0.0
+    )
+    return PowerMetrics(
+        machine_ticks=machine_ticks,
+        always_on_machine_ticks=always_on,
+        savings_pct=savings,
+        peak_powered=peak,
+        warm_hits=warm_hits,
+        cold_starts=cold_starts,
+        cold_start_rate=rate,
+    )
+
+
 def relative_efficiency(metrics: list[SimulationMetrics]) -> dict[str, float]:
     """Equation 10: ``num(i) / min_j num(j) - 1`` per scheduler.
 

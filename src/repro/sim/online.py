@@ -43,6 +43,7 @@ from repro.base import ScheduleResult, Scheduler
 from repro.cluster.snapshot import SnapshotError, read_snapshot, write_snapshot
 from repro.cluster.state import ClusterState
 from repro.cluster.topology import build_cluster
+from repro.sim.lifecycle import KEEP_ALIVE_CHOICES, lifecycle_from_config
 from repro.telemetry import SchedulerTelemetry
 from repro.trace.arrival import ArrivalOrder, order_applications
 from repro.trace.schema import Trace
@@ -74,6 +75,18 @@ class OnlineConfig:
         :func:`repro.trace.scenarios.scenario_schedule`.  ``ticks``,
         ``lifetime_ticks`` and ``arrival_order`` are ignored in that
         mode (the scenario trace pins all three).
+    autoscale:
+        Enables the power/warm-pool lifecycle
+        (:mod:`repro.sim.lifecycle`).  Off by default, and **off means
+        absent**: a default-off run is bit-identical to one built
+        before the knob existed — the autoscale knobs below are
+        ignored entirely unless this is set.
+    keep_alive / keep_alive_ticks / pool_capacity:
+        Warm-pool policy (``none``/``fixed``/``ttl``/``lru``), its
+        keep-alive horizon in ticks, and the pool's entry cap.
+    cold_start_ticks / drain_ticks / min_on / power_headroom:
+        Power-planner knobs — see
+        :class:`repro.cluster.power.PowerConfig`.
     """
 
     ticks: int = 50
@@ -82,6 +95,14 @@ class OnlineConfig:
     seed: int = 0
     machine_pool_factor: float = 1.2
     scenario: str | None = None
+    autoscale: bool = False
+    keep_alive: str = "fixed"
+    keep_alive_ticks: int = 4
+    pool_capacity: int = 256
+    cold_start_ticks: int = 2
+    drain_ticks: int = 1
+    min_on: int = 1
+    power_headroom: float = 1.0
 
     def __post_init__(self) -> None:
         if self.ticks < 1:
@@ -91,6 +112,27 @@ class OnlineConfig:
             raise ValueError(f"bad lifetime range {self.lifetime_ticks}")
         if self.machine_pool_factor < 1.0:
             raise ValueError("machine_pool_factor must be >= 1")
+        if self.keep_alive not in KEEP_ALIVE_CHOICES:
+            raise ValueError(
+                f"unknown keep-alive policy {self.keep_alive!r}; "
+                f"pick from {KEEP_ALIVE_CHOICES}"
+            )
+
+    def lifecycle_fingerprint(self) -> dict | None:
+        """The autoscale knobs a snapshot must match (``None`` when
+        the lifecycle is off — so pre-autoscale fingerprints of
+        default-off runs stay comparable)."""
+        if not self.autoscale:
+            return None
+        return {
+            "keep_alive": self.keep_alive,
+            "keep_alive_ticks": self.keep_alive_ticks,
+            "pool_capacity": self.pool_capacity,
+            "cold_start_ticks": self.cold_start_ticks,
+            "drain_ticks": self.drain_ticks,
+            "min_on": self.min_on,
+            "headroom": self.power_headroom,
+        }
 
 
 @dataclass
@@ -116,6 +158,17 @@ class TickSample:
     rescue_attempts: int = 0
     #: of those, attempts planned by the vectorized rescue kernel
     rescue_kernel_invocations: int = 0
+    #: power/warm-pool telemetry, set only when a lifecycle runtime is
+    #: active (``None`` otherwise — and then absent from
+    #: :meth:`OnlineResult.canonical_json`, preserving default-off
+    #: bit-identity with pre-autoscale runs)
+    powered_machines: int | None = None
+    draining_machines: int | None = None
+    off_machines: int | None = None
+    woken_machines: int | None = None
+    warm_hits: int | None = None
+    cold_starts: int | None = None
+    pool_size: int | None = None
     #: phase name -> wall seconds spent inside this tick.  Window phases
     #: (``window_departures``, ``window_sample``, ``window_record``) are
     #: timed by :func:`apply_window`/:func:`record_window`; scheduler
@@ -166,6 +219,38 @@ class OnlineResult:
         counters while excluding wall-clock times (``total_elapsed_s``
         and per-phase timings), which legitimately vary between runs.
         """
+        samples = []
+        for s in self.samples:
+            entry = {
+                "tick": s.tick,
+                "arrived": s.arrived_containers,
+                "departed": s.departed_containers,
+                "running": s.running_containers,
+                "failures": s.pending_failures,
+                "used_machines": s.used_machines,
+                "mean_utilization": repr(s.mean_utilization),
+                "migrations": s.migrations,
+                "violations": s.violations,
+                "explored": s.explored,
+                "cache_hits": s.cache_hits,
+                "batch_invocations": s.batch_invocations,
+                "rescue_attempts": s.rescue_attempts,
+                "rescue_kernel_invocations": s.rescue_kernel_invocations,
+            }
+            if s.powered_machines is not None:
+                # Lifecycle telemetry only exists on autoscale runs, so
+                # the key is conditional: default-off output stays
+                # byte-identical to pre-autoscale builds.
+                entry["power"] = {
+                    "on": s.powered_machines,
+                    "draining": s.draining_machines,
+                    "off": s.off_machines,
+                    "woken": s.woken_machines,
+                    "warm_hits": s.warm_hits,
+                    "cold_starts": s.cold_starts,
+                    "pool_size": s.pool_size,
+                }
+            samples.append(entry)
         payload = {
             "totals": {
                 "arrived": self.total_arrived,
@@ -174,25 +259,7 @@ class OnlineResult:
                 "migrations": self.total_migrations,
             },
             "telemetry": self.telemetry.counters(),
-            "samples": [
-                {
-                    "tick": s.tick,
-                    "arrived": s.arrived_containers,
-                    "departed": s.departed_containers,
-                    "running": s.running_containers,
-                    "failures": s.pending_failures,
-                    "used_machines": s.used_machines,
-                    "mean_utilization": repr(s.mean_utilization),
-                    "migrations": s.migrations,
-                    "violations": s.violations,
-                    "explored": s.explored,
-                    "cache_hits": s.cache_hits,
-                    "batch_invocations": s.batch_invocations,
-                    "rescue_attempts": s.rescue_attempts,
-                    "rescue_kernel_invocations": s.rescue_kernel_invocations,
-                }
-                for s in self.samples
-            ],
+            "samples": samples,
         }
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
@@ -212,6 +279,24 @@ def pool_topology(trace: Trace, config: OnlineConfig):
     """The machine pool an online run of ``trace`` schedules into."""
     n = max(1, round(trace.config.n_machines * config.machine_pool_factor))
     return build_cluster(n)
+
+
+def lifecycle_horizon_tail(config: OnlineConfig) -> int:
+    """Extra ticks an autoscale run needs past the nominal horizon.
+
+    Cold-start penalties (function miss + machine spin-up, each at most
+    ``cold_start_ticks``) defer departures, and pooled containers then
+    linger one keep-alive before expiring.  Zero when autoscale is off
+    — the loop bound stays exactly what it was.  Shared by the
+    simulator's tick loop and the serving replay client so both drive
+    the same number of windows.
+    """
+    if not config.autoscale:
+        return 0
+    tail = 2 * config.cold_start_ticks + 2
+    if config.keep_alive != "none":
+        tail += config.keep_alive_ticks + 1
+    return tail
 
 
 @dataclass(frozen=True)
@@ -269,6 +354,7 @@ def apply_window(
     tick: int,
     departures=(),
     batch=(),
+    lifecycle=None,
 ) -> tuple[TickSample, ScheduleResult | None]:
     """Apply one scheduling window to ``state`` and sample the cluster.
 
@@ -278,19 +364,40 @@ def apply_window(
     entirely), and returns the sampled :class:`TickSample` plus the
     round's :class:`~repro.base.ScheduleResult` (``None`` on idle
     windows).
+
+    With a :class:`~repro.sim.lifecycle.LifecycleRuntime` the window
+    grows two phases: ``window_pool`` (departure stashing + warm
+    claims, before the scheduler) and ``window_power`` (wake/drain
+    planning).  Warm-claimed arrivals never reach the scheduler; the
+    runtime's ``last_warm``/``last_penalties`` expose them to the
+    caller for departure booking.
     """
     # Batched eviction: one vectorised pass over the whole window's
     # departures (absent ids are skipped — the container may have been
-    # displaced by a fault already).
+    # displaced by a fault already).  The pool rewrites the list first:
+    # stashed containers stay put, expired pool entries join it.
+    arrived = len(batch)
+    batch = list(batch)
+    warm: dict[int, int] = {}
     t0 = time.perf_counter()
+    if lifecycle is not None:
+        departures = lifecycle.pool_intake(state, tick, departures)
     departed = state.evict_block(departures)
     phase_s = {"window_departures": time.perf_counter() - t0}
+    if lifecycle is not None:
+        t0 = time.perf_counter()
+        batch, warm = lifecycle.claim_warm(state, tick, batch)
+        departed += len(warm)  # each claim retires a pooled container
+        phase_s["window_pool"] = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        _woken, _drained, reclaimed = lifecycle.power_step(state, tick, batch)
+        departed += reclaimed
+        phase_s["window_power"] = time.perf_counter() - t0
 
     migrations = failed = explored = 0
     cache_hits = batch_invocations = 0
     rescue_attempts = rescue_kernel_invocations = 0
     schedule: ScheduleResult | None = None
-    batch = list(batch)
     if batch:
         schedule = scheduler.schedule(batch, state)
         migrations = schedule.migrations
@@ -308,12 +415,15 @@ def apply_window(
             for name, dt in schedule.telemetry.phase_time_s.items():
                 phase_s[name] = phase_s.get(name, 0.0) + dt
 
+    if lifecycle is not None:
+        lifecycle.charge(tick, schedule, batch)
+
     t0 = time.perf_counter()
     used = state.used_machines()
     util = state.used_utilization(0)
     sample = TickSample(
         tick=tick,
-        arrived_containers=len(batch),
+        arrived_containers=arrived,
         departed_containers=departed,
         running_containers=len(state.assignment),
         pending_failures=failed,
@@ -328,13 +438,29 @@ def apply_window(
         rescue_kernel_invocations=rescue_kernel_invocations,
         phase_s=phase_s,
     )
+    if lifecycle is not None:
+        on, draining, off = lifecycle.power.counts()
+        sample.powered_machines = on
+        sample.draining_machines = draining
+        sample.off_machines = off
+        sample.woken_machines = len(lifecycle.last_woken)
+        sample.warm_hits = len(warm)
+        sample.cold_starts = lifecycle.last_cold_starts
+        sample.pool_size = lifecycle.pending()
     phase_s["window_sample"] = time.perf_counter() - t0
     return sample, schedule
 
 
 #: tick phases timed by the window logic itself (as opposed to the
-#: scheduler phases, which arrive in the result via telemetry.merge)
-WINDOW_PHASES = ("window_departures", "window_sample", "window_record")
+#: scheduler phases, which arrive in the result via telemetry.merge).
+#: ``window_pool``/``window_power`` only appear on autoscale runs.
+WINDOW_PHASES = (
+    "window_departures",
+    "window_pool",
+    "window_power",
+    "window_sample",
+    "window_record",
+)
 
 
 def record_window(
@@ -346,8 +472,11 @@ def record_window(
     t0 = time.perf_counter()
     result.samples.append(sample)
     result.total_departed += sample.departed_containers
+    # Arrivals fold unconditionally: a fully-warm-served window has no
+    # schedule but did admit containers.  (Without a lifecycle, no
+    # schedule implies an empty batch, so this is a no-op there.)
+    result.total_arrived += sample.arrived_containers
     if schedule is not None:
-        result.total_arrived += sample.arrived_containers
         result.total_failed += schedule.n_undeployed
         result.total_migrations += schedule.migrations
         result.total_elapsed_s += schedule.elapsed_s
@@ -428,6 +557,7 @@ class OnlineSimulator:
             "machine_pool_factor": cfg.machine_pool_factor,
             "scenario": cfg.scenario,
             "scheduler": scheduler.name,
+            "lifecycle": cfg.lifecycle_fingerprint(),
         }
 
     def _write_checkpoint(
@@ -439,6 +569,7 @@ class OnlineSimulator:
         departures: dict[int, list[int]],
         idx: int,
         tick: int,
+        lifecycle=None,
     ) -> None:
         take = getattr(scheduler, "checkpoint", None)
         payload = {
@@ -449,6 +580,7 @@ class OnlineSimulator:
             "result": result,
             "state": state.checkpoint_payload(),
             "engine": take() if callable(take) else None,
+            "lifecycle": lifecycle.checkpoint() if lifecycle is not None else None,
         }
         write_snapshot(path, payload, kind="online-sim")
 
@@ -467,6 +599,10 @@ class OnlineSimulator:
         life_of = sched.life_of
         by_app = sched.by_app
         horizon = sched.horizon
+        lifecycle = lifecycle_from_config(
+            self.trace, cfg, self._topology.n_machines
+        )
+        horizon += lifecycle_horizon_tail(cfg)
 
         if restore_from is not None:
             payload = read_snapshot(restore_from, kind="online-sim")
@@ -489,6 +625,8 @@ class OnlineSimulator:
             restore = getattr(scheduler, "restore_checkpoint", None)
             if payload["engine"] is not None and callable(restore):
                 restore(payload["engine"], state)
+            if payload.get("lifecycle") is not None:
+                lifecycle.restore(payload["lifecycle"])
         else:
             state = ClusterState(self._topology, self.trace.constraints)
             #: departure tick -> container ids to evict
@@ -497,7 +635,8 @@ class OnlineSimulator:
             idx = 0
             start_tick = 0
 
-        if idx >= len(apps) and not departures:
+        drained_pool = lifecycle is None or not lifecycle.pending()
+        if idx >= len(apps) and not departures and drained_pool:
             # The snapshot was taken on the run's final tick; the
             # uninterrupted run broke out right after sampling it.
             return result
@@ -513,14 +652,21 @@ class OnlineSimulator:
             # 2.–3. arrivals + sampling, via the window logic shared
             # with the serving loop.
             sample, schedule = apply_window(
-                scheduler, state, tick=tick, departures=deps, batch=batch
+                scheduler, state, tick=tick, departures=deps, batch=batch,
+                lifecycle=lifecycle,
             )
             record_window(result, sample, schedule)
-            if schedule is not None:
+            placed = schedule.placements if schedule is not None else {}
+            warm = lifecycle.last_warm if lifecycle is not None else {}
+            pen = lifecycle.last_penalties if lifecycle is not None else {}
+            if placed or warm:
                 for c in batch:
-                    if c.container_id in schedule.placements:
-                        end = tick + life_of[c.app_id]
-                        departures.setdefault(end, []).append(c.container_id)
+                    cid = c.container_id
+                    if cid in placed or cid in warm:
+                        # Cold starts extend residency: the penalty is
+                        # paid in lifetime ticks (warm hits carry none).
+                        end = tick + life_of[c.app_id] + pen.get(cid, 0)
+                        departures.setdefault(end, []).append(cid)
             if (  # 4. checkpoint
                 checkpoint_every
                 and checkpoint_path
@@ -535,10 +681,14 @@ class OnlineSimulator:
                     rebalance(state)
                 self._write_checkpoint(
                     checkpoint_path, scheduler, state, result,
-                    departures, idx, tick,
+                    departures, idx, tick, lifecycle,
                 )
                 if on_checkpoint is not None:
                     on_checkpoint(tick, checkpoint_path)
-            if idx >= len(apps) and not departures:
+            if (
+                idx >= len(apps)
+                and not departures
+                and (lifecycle is None or not lifecycle.pending())
+            ):
                 break
         return result

@@ -41,6 +41,13 @@ Four named families (``SCENARIOS``):
     A heavier constrained-LLA base arriving throughout the day with
     shorter lifetimes, so long-lived anti-affinity structure churns
     *concurrently* with the serverless load.
+``autoscale``
+    The diurnal day tiled over multiple days (``days=2``) with a thin
+    LLA base, so the trough between peaks is deep and repeated — the
+    regime where scale-to-zero power management and warm pools
+    (:mod:`repro.cluster.power`, :mod:`repro.cluster.warmpool`) have
+    something to win.  Repeated days also mean the same functions
+    re-arrive, which is what gives a warm pool its hits.
 """
 
 from __future__ import annotations
@@ -70,6 +77,10 @@ SCENARIOS: dict[str, dict] = {
         "lla_arrival_span": 1.0,
         "lla_lifetime": (12, 96),
     },
+    # peak_load leaves room for cold-start lifetime inflation: with the
+    # lifecycle on, pool misses extend short function residencies by
+    # cold_start_ticks, so concurrency overshoots the calibration.
+    "autoscale": {"days": 2, "lla_share": 0.1, "peak_load": 0.35},
 }
 
 _NAME_RE = re.compile(r"-t(\d+)-l(\d+)$")
@@ -113,6 +124,12 @@ class ScenarioConfig:
     force_lifetime:
         When set, every function app lives exactly this many ticks
         (``churn-storm`` pins it to 1).
+    days:
+        Number of times the dataset's day is tiled across the tick
+        horizon (``ticks`` must divide evenly).  ``days=1`` reproduces
+        the single-day families bit-for-bit; higher values repeat the
+        diurnal curve so troughs recur — the ``autoscale`` family's
+        default.
     n_functions:
         Fallback-dataset size when no real dataset is supplied.
     max_block:
@@ -124,6 +141,7 @@ class ScenarioConfig:
     scale: float = 0.05
     seed: int = 0
     ticks: int = 48
+    days: int = 1
     peak_load: float = 0.55
     lla_share: float = 0.25
     lla_lifetime: tuple[int, int] = (48, 192)
@@ -153,6 +171,13 @@ class ScenarioConfig:
             raise ValueError("force_lifetime must be >= 1")
         if any(not 0 <= t < self.ticks for t in self.burst_ticks):
             raise ValueError(f"burst_ticks out of range: {self.burst_ticks}")
+        if self.days < 1:
+            raise ValueError("days must be >= 1")
+        if self.ticks % self.days:
+            raise ValueError(
+                f"ticks ({self.ticks}) must divide evenly into "
+                f"days ({self.days})"
+            )
 
 
 def scenario_config(name: str, **overrides) -> ScenarioConfig:
@@ -190,6 +215,23 @@ def decode_arrival(name: str) -> tuple[int, int]:
             "suffix; was this trace built by build_scenario()?"
         )
     return int(m.group(1)), int(m.group(2))
+
+
+def function_pool_key(name: str) -> str | None:
+    """Warm-pool identity stem of a scenario application name.
+
+    Function apps (``fn-0042-t017-l002``) re-arrive under different
+    ``-tNNN-lNNN`` suffixes at every bin; the stem (``fn-0042``) is
+    the stable identity a warm container can be claimed under.  LLA
+    apps and non-scenario names return ``None`` — they are never
+    pool-eligible.
+    """
+    if not name.startswith("fn-"):
+        return None
+    m = _NAME_RE.search(name)
+    if m is None:
+        return None
+    return name[: m.start()]
 
 
 def _function_cpu(memory_mb: float) -> float:
@@ -267,9 +309,12 @@ def build_scenario(
     lives: list[int] = []
     cpus: list[float] = []
     for fn in functions:
-        counts = _bin_day(fn.invocations, config.ticks)
+        # Tile the dataset's single day over `days` repeats; days=1 is
+        # bit-identical to binning the whole horizon directly.
+        counts = np.tile(
+            _bin_day(fn.invocations, config.ticks // config.days), config.days
+        )
         if config.burst_ticks:
-            counts = counts.copy()
             for t in config.burst_ticks:
                 counts[t] *= config.burst_factor
         binned.append(counts)

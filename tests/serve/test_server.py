@@ -211,8 +211,14 @@ class TestWindows:
         self, make_server, serve_trace
     ):
         """Documented window order is repairs → faults as two passes:
-        a window holding [fault m, repair m] leaves m failed no matter
-        the arrival interleaving."""
+        a window holding [fault m, repair m] applies the repair pass
+        first, so the repair — naming a machine that is *not failed* at
+        repair time — gets its own error reply, the fault still
+        applies, and m ends failed no matter the arrival interleaving.
+
+        A window holding [repair m, fault m] against an already-failed
+        m is the bounce that works: repair first, then fault again.
+        """
         from repro.serve.protocol import validate_request
 
         server = make_server(ServeConfig(window_max=8))
@@ -235,9 +241,20 @@ class TestWindows:
             ({"type": "fault", "machines": [machine]}, None),
             ({"type": "repair", "machines": [machine]}, None),
         ]
-        for reply_pair in server._apply_window(window):
-            assert reply_pair[1]["status"] == "ok"
-        # repair applied first, fault second: the machine ends failed
+        (_, faulted), (_, rejected) = server._apply_window(window)
+        assert faulted["status"] == "ok"
+        assert rejected["status"] == "error"
+        assert "not failed" in rejected["error"]
+        # fault applied, the healthy-at-repair-time repair did not
+        assert not server.state.available[machine].any()
+        # the bounce: repair the failed machine and fault it again in
+        # one window — repairs apply first, so both succeed
+        bounce = [
+            ({"type": "repair", "machines": [machine]}, None),
+            ({"type": "fault", "machines": [machine]}, None),
+        ]
+        for _writer, reply in server._apply_window(bounce):
+            assert reply["status"] == "ok"
         assert not server.state.available[machine].any()
 
     def test_step_reports_running(self, served, serve_trace):

@@ -58,6 +58,49 @@ class TestFailMachines:
         with pytest.raises(IndexError):
             fail_machines(state, [99])
 
+    def test_transactional_bad_id_mutates_nothing(self):
+        """A bad id anywhere in the list must leave every machine
+        untouched — no half-failed prefix (ISSUE 10 satellite)."""
+        apps = [Application(0, 2, 8.0, 16.0, anti_affinity_within=True)]
+        state = deployed_state(apps)
+        victims = sorted({state.assignment[0], state.assignment[1]})
+        available = state.available.copy()
+        version = state.version
+        with pytest.raises(IndexError):
+            fail_machines(state, victims + [99])
+        assert state.available.tobytes() == available.tobytes()
+        assert state.version == version
+        assert 0 in state.assignment and 1 in state.assignment
+
+    def test_already_failed_rejected_without_mutation(self):
+        apps = [Application(0, 2, 8.0, 16.0, anti_affinity_within=True)]
+        state = deployed_state(apps)
+        first, second = state.assignment[0], state.assignment[1]
+        fail_machines(state, [first])
+        available = state.available.copy()
+        with pytest.raises(ValueError, match="already failed"):
+            fail_machines(state, [second, first])
+        assert state.available.tobytes() == available.tobytes()
+        assert 1 in state.assignment, "machine listed before the bad id"
+
+    def test_duplicate_ids_rejected(self):
+        apps = [Application(0, 1, 8.0, 16.0)]
+        state = deployed_state(apps)
+        machine = state.assignment[0]
+        with pytest.raises(ValueError, match="already failed"):
+            fail_machines(state, [machine, machine])
+        assert 0 in state.assignment
+
+    def test_fully_packed_machine_is_not_already_failed(self):
+        """An all-zero available row with residents is *packed*, not
+        down — it must still be failable."""
+        apps = [Application(0, 1, 32.0, 64.0)]
+        state = deployed_state(apps, n_machines=2)
+        machine = state.assignment[0]
+        assert not state.available[machine].any()
+        report = fail_machines(state, [machine])
+        assert report.n_displaced == 1
+
 
 class TestRecovery:
     def test_displaced_land_elsewhere(self):
@@ -119,6 +162,41 @@ class TestRepair:
         machine = state.assignment[0]
         with pytest.raises(ValueError, match="hosts containers"):
             repair_machines(state, [machine])
+
+    def test_repair_range_checks_negative_ids(self):
+        """Regression: ``repair_machines(state, [-1])`` used to let
+        numpy wrap the index and silently "repair" the last machine."""
+        apps = [Application(0, 1, 8.0, 16.0)]
+        state = deployed_state(apps)
+        last = state.n_machines - 1
+        fail_machines(state, [last])
+        with pytest.raises(IndexError):
+            repair_machines(state, [-1])
+        assert not state.available[last].any(), "machine -1 wrapped"
+        with pytest.raises(IndexError):
+            repair_machines(state, [state.n_machines])
+
+    def test_repair_refuses_never_failed_machine(self):
+        state = deployed_state([Application(0, 1, 8.0, 16.0)])
+        empty = next(
+            m for m in range(state.n_machines)
+            if not state.machine_containers.get(m)
+        )
+        with pytest.raises(ValueError, match="not failed"):
+            repair_machines(state, [empty])
+
+    def test_repair_transactional_bad_id_mutates_nothing(self):
+        apps = [Application(0, 1, 8.0, 16.0)]
+        state = deployed_state(apps)
+        machine = state.assignment[0]
+        report = fail_machines(state, [machine])
+        available = state.available.copy()
+        with pytest.raises(IndexError):
+            repair_machines(state, [machine, 99])
+        assert state.available.tobytes() == available.tobytes()
+        repair_machines(state, [machine])  # still repairable afterwards
+        recover(report, state, AladdinScheduler())
+        assert 0 in state.assignment
 
 
 class TestRandomFailures:

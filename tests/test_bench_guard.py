@@ -137,6 +137,63 @@ class TestCommittedTraceArtifact:
             assert scenario["decisions_identical"] is True, name
 
 
+def test_power_mode_defaults():
+    assert (
+        resolve_out(None, smoke=False, force=False, mode="power")
+        == "BENCH_power.json"
+    )
+    assert (
+        resolve_out(None, smoke=True, force=False, mode="power")
+        == "BENCH_power_smoke.json"
+    )
+    with pytest.raises(SystemExit, match="refusing to overwrite"):
+        resolve_out("BENCH_power.json", smoke=True, force=False, mode="power")
+
+
+class TestCommittedPowerArtifact:
+    """The committed BENCH_power.json must tell the lifecycle story:
+    autoscale powers down most of the cluster at no validity cost, and
+    keep-alive pools beat cold-starting every function placement."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        path = Path(__file__).resolve().parent.parent / "BENCH_power.json"
+        with path.open() as fh:
+            return json.load(fh)
+
+    def test_cold_start_rate_recorded_everywhere(self, report):
+        for name, scenario in report["scenarios"].items():
+            for policy, row in scenario["policies"].items():
+                assert "cold_start_rate" in row, f"{name}/{policy}"
+                assert 0.0 <= row["cold_start_rate"] <= 1.0
+            # The always-on baseline never cold-starts: the lifecycle
+            # (and with it every cold-start charge) is off.
+            assert scenario["policies"]["always-on"]["cold_start_rate"] == 0.0
+
+    def test_decisions_identical_across_engine_variants(self, report):
+        for name, scenario in report["scenarios"].items():
+            assert scenario["decisions_identical"] is True, name
+
+    def test_autoscale_beats_always_on(self, report):
+        for name, scenario in report["scenarios"].items():
+            rows = scenario["policies"]
+            always = rows["always-on"]["machine_ticks"]
+            for policy in ("fixed", "ttl", "lru", "none"):
+                assert rows[policy]["machine_ticks"] < always, (
+                    f"{name}/{policy}"
+                )
+                assert rows[policy]["failed"] <= rows["always-on"]["failed"]
+
+    def test_keep_alive_beats_no_pool_on_diurnal(self, report):
+        rows = report["scenarios"]["diurnal"]["policies"]
+        assert rows["fixed"]["machine_ticks"] <= rows["none"]["machine_ticks"]
+        assert (
+            rows["fixed"]["cold_start_rate"] < rows["none"]["cold_start_rate"]
+        )
+        assert rows["fixed"]["warm_hits"] > 0
+        assert rows["none"]["warm_hits"] == 0
+
+
 def test_host_info_stamps_provenance():
     # Every committed BENCH_*.json header must say what it was measured
     # on: CPU budget, platform, interpreter and git revision.
